@@ -1,0 +1,379 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§5) at
+// benchmark-friendly scale, plus ablation benches for the design choices
+// called out in DESIGN.md. The full-scale figures are produced by
+// cmd/swbench (swbench -exp all -full); these benches exercise the same
+// pipelines under testing.B so the shapes can be tracked continuously.
+//
+// Naming: BenchmarkFig<N>... corresponds to paper Figure <N>.
+package samplewh
+
+import (
+	"fmt"
+	"testing"
+
+	"samplewh/internal/core"
+	"samplewh/internal/experiments"
+	"samplewh/internal/randx"
+	"samplewh/internal/workload"
+)
+
+// benchOpts are the shared figure-bench parameters: n_F = 8192 as in the
+// paper, single run per measurement.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Runs: 1, NF: 8192, P: 0.001}
+}
+
+// benchPipeline runs the partition-sample-merge pipeline once per iteration
+// and reports elements/op plus the split of sampling vs merging time.
+func benchPipeline(b *testing.B, alg experiments.Alg, dist workload.Distribution, n int64, parts int) {
+	b.Helper()
+	rng := randx.New(7)
+	opt := benchOpts()
+	var sampleNS, mergeNS, size float64
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPipeline(alg, dist, n, parts, opt, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampleNS += float64(res.SampleTime.Nanoseconds())
+		mergeNS += float64(res.MergeTime.Nanoseconds())
+		size += float64(res.Merged.Size())
+	}
+	b.ReportMetric(sampleNS/float64(b.N), "sample-ns/op")
+	b.ReportMetric(mergeNS/float64(b.N), "merge-ns/op")
+	b.ReportMetric(size/float64(b.N), "sample-size")
+}
+
+// BenchmarkFig5QRate regenerates Figure 5's grid: the closed-form
+// approximation (1) evaluated across the paper's parameter grid, with the
+// exact-bisection ground truth compared once per grid point.
+func BenchmarkFig5QRate(b *testing.B) {
+	ps := []float64{0.00001, 0.0001, 0.001, 0.005}
+	nfs := []int64{100, 1000, 10000}
+	b.Run("approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range ps {
+				for _, nf := range nfs {
+					_ = core.QApprox(100000, p, nf)
+				}
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range ps {
+				for _, nf := range nfs {
+					_ = core.QExact(100000, p, nf, 1e-12)
+				}
+			}
+		}
+	})
+	b.Run("relerr-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxErr := 0.0
+			for _, p := range ps {
+				for _, nf := range nfs {
+					if e := core.QApproxRelError(100000, p, nf); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+			if maxErr > 0.03 {
+				b.Fatalf("relative error %v exceeds the paper's 3%% bound", maxErr)
+			}
+		}
+	})
+}
+
+// speedupBench parameterizes one speedup figure: fixed 2^20 unique-value
+// population, partition count swept as in Figures 9–11.
+func speedupBench(b *testing.B, alg experiments.Alg) {
+	for _, parts := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			benchPipeline(b, alg, workload.Unique, 1<<20, parts)
+		})
+	}
+}
+
+// BenchmarkFig9SpeedupSB regenerates Figure 9 (Algorithm SB speedup).
+func BenchmarkFig9SpeedupSB(b *testing.B) { speedupBench(b, experiments.AlgSB) }
+
+// BenchmarkFig10SpeedupHB regenerates Figure 10 (Algorithm HB speedup).
+func BenchmarkFig10SpeedupHB(b *testing.B) { speedupBench(b, experiments.AlgHB) }
+
+// BenchmarkFig11SpeedupHR regenerates Figure 11 (Algorithm HR speedup).
+func BenchmarkFig11SpeedupHR(b *testing.B) { speedupBench(b, experiments.AlgHR) }
+
+// scaleupBench parameterizes one scaleup figure: 32K elements per
+// partition, scale factor = partition count, three data distributions as in
+// Figures 12–14.
+func scaleupBench(b *testing.B, alg experiments.Alg) {
+	const per = 32 * 1024
+	for _, dist := range []workload.Distribution{workload.Unique, workload.Uniform, workload.Zipfian} {
+		for _, scale := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s/scale=%d", dist, scale), func(b *testing.B) {
+				benchPipeline(b, alg, dist, int64(scale)*per, scale)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12ScaleupSB regenerates Figure 12 (Algorithm SB scaleup).
+func BenchmarkFig12ScaleupSB(b *testing.B) { scaleupBench(b, experiments.AlgSB) }
+
+// BenchmarkFig13ScaleupHB regenerates Figure 13 (Algorithm HB scaleup).
+func BenchmarkFig13ScaleupHB(b *testing.B) { scaleupBench(b, experiments.AlgHB) }
+
+// BenchmarkFig14ScaleupHR regenerates Figure 14 (Algorithm HR scaleup).
+func BenchmarkFig14ScaleupHR(b *testing.B) { scaleupBench(b, experiments.AlgHR) }
+
+// sampleSizeBench parameterizes Figures 15–16: fixed 32K-element
+// partitions, growing partition counts; the interesting metric is the
+// reported sample-size.
+func sampleSizeBench(b *testing.B, alg experiments.Alg) {
+	const per = 32 * 1024
+	for _, parts := range []int{1, 8, 32} {
+		for _, dist := range []workload.Distribution{workload.Unique, workload.Uniform} {
+			b.Run(fmt.Sprintf("%s/parts=%d", dist, parts), func(b *testing.B) {
+				benchPipeline(b, alg, dist, int64(parts)*per, parts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig15SampleSizeHB regenerates Figure 15 (Algorithm HB merged
+// sample sizes; the sample-size metric shrinks below n_F = 8192).
+func BenchmarkFig15SampleSizeHB(b *testing.B) { sampleSizeBench(b, experiments.AlgHB) }
+
+// BenchmarkFig16SampleSizeHR regenerates Figure 16 (Algorithm HR merged
+// sample sizes; the sample-size metric stays pinned at n_F = 8192).
+func BenchmarkFig16SampleSizeHR(b *testing.B) { sampleSizeBench(b, experiments.AlgHR) }
+
+// BenchmarkMergeTreeShape is the DESIGN.md ablation comparing the serial
+// left-deep merge chain of the paper's experiments against a balanced
+// binary merge tree, for both merge families.
+func BenchmarkMergeTreeShape(b *testing.B) {
+	const parts = 64
+	const per = 16 * 1024
+	cfg := core.ConfigForNF(4096)
+	build := func(rng *randx.RNG, hb bool) []*core.Sample[int64] {
+		gens := workload.Partitions(workload.Spec{Dist: workload.Unique, N: parts * per, Seed: 3}, parts)
+		out := make([]*core.Sample[int64], parts)
+		for i, g := range gens {
+			var smp core.Sampler[int64]
+			if hb {
+				smp = core.NewHB[int64](cfg, g.Len(), rng.Split())
+			} else {
+				smp = core.NewHR[int64](cfg, rng.Split())
+			}
+			for {
+				v, ok := g.Next()
+				if !ok {
+					break
+				}
+				smp.Feed(v)
+			}
+			s, err := smp.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	for _, c := range []struct {
+		name  string
+		hb    bool
+		merge core.MergeFunc[int64]
+		tree  bool
+	}{
+		{"HR/serial", false, core.HRMerge[int64], false},
+		{"HR/tree", false, core.HRMerge[int64], true},
+		{"HB/serial", true, core.HBMerge[int64], false},
+		{"HB/tree", true, core.HBMerge[int64], true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			rng := randx.New(11)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				samples := build(rng, c.hb)
+				b.StartTimer()
+				var err error
+				if c.tree {
+					_, err = core.MergeTree(samples, c.merge, rng)
+				} else {
+					_, err = core.MergeSerial(samples, c.merge, rng)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiPurgeVsHB is the DESIGN.md ablation confirming the paper's
+// §4.1 claim that the multiple-purge Bernoulli variant is dominated by
+// Algorithm HB.
+func BenchmarkMultiPurgeVsHB(b *testing.B) {
+	const n = 1 << 18
+	cfg := core.ConfigForNF(4096)
+	feed := func(smp core.Sampler[int64]) {
+		g := workload.New(workload.Spec{Dist: workload.Unique, N: n, Seed: 5})
+		for {
+			v, ok := g.Next()
+			if !ok {
+				break
+			}
+			smp.Feed(v)
+		}
+		if _, err := smp.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("HB", func(b *testing.B) {
+		rng := randx.New(13)
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			// Under-declare N to stress the bound machinery equally.
+			feed(core.NewHB[int64](cfg, n/2, rng.Split()))
+		}
+	})
+	b.Run("MultiPurge", func(b *testing.B) {
+		rng := randx.New(13)
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			feed(core.NewMultiPurge[int64](cfg, n/2, 0, rng.Split()))
+		}
+	})
+}
+
+// BenchmarkHRMergeAliasVsInversion is the DESIGN.md ablation for the §4.2
+// optimization: repeated symmetric HR merges drawing the hypergeometric
+// split by per-merge inversion (building the pmf every time) versus the
+// cached alias table of SymmetricMerger.
+func BenchmarkHRMergeAliasVsInversion(b *testing.B) {
+	cfg := core.ConfigForNF(8192)
+	const per = 64 * 1024
+	build := func(rng *randx.RNG) (*core.Sample[int64], *core.Sample[int64]) {
+		mk := func(lo int64) *core.Sample[int64] {
+			hr := core.NewHR[int64](cfg, rng.Split())
+			g := workload.NewRange(workload.Spec{Dist: workload.Unique, N: 2 * per, Seed: 21}, lo, lo+per)
+			for {
+				v, ok := g.Next()
+				if !ok {
+					break
+				}
+				hr.Feed(v)
+			}
+			s, err := hr.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}
+		return mk(0), mk(per)
+	}
+	b.Run("inversion", func(b *testing.B) {
+		rng := randx.New(23)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s1, s2 := build(rng)
+			b.StartTimer()
+			if _, err := core.HRMerge(s1, s2, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alias-cached", func(b *testing.B) {
+		rng := randx.New(23)
+		m := core.NewSymmetricMerger[int64]()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s1, s2 := build(rng)
+			b.StartTimer()
+			if _, err := m.Merge(s1, s2, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMergeTreeParallel compares serial and parallel balanced merge
+// trees over 64 reservoir samples.
+func BenchmarkMergeTreeParallel(b *testing.B) {
+	const parts = 64
+	const per = 16 * 1024
+	cfg := core.ConfigForNF(4096)
+	build := func(rng *randx.RNG) []*core.Sample[int64] {
+		gens := workload.Partitions(workload.Spec{Dist: workload.Unique, N: parts * per, Seed: 31}, parts)
+		out := make([]*core.Sample[int64], parts)
+		for i, g := range gens {
+			hr := core.NewHR[int64](cfg, rng.Split())
+			for {
+				v, ok := g.Next()
+				if !ok {
+					break
+				}
+				hr.Feed(v)
+			}
+			s, err := hr.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	for _, par := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("parallelism=%d", par)
+		if par == 0 {
+			name = "parallelism=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := randx.New(33)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				samples := build(rng)
+				b.StartTimer()
+				if _, err := core.MergeTreeParallel(samples, core.HRMerge[int64], rng, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSamplerThroughput measures raw per-element feeding cost of every
+// scheme on the three workloads — the substrate number behind all the
+// figure benches.
+func BenchmarkSamplerThroughput(b *testing.B) {
+	cfg := core.ConfigForNF(8192)
+	for _, dist := range []workload.Distribution{workload.Unique, workload.Uniform, workload.Zipfian} {
+		for _, alg := range []string{"SB", "HB", "HR", "Concise"} {
+			b.Run(fmt.Sprintf("%s/%s", alg, dist), func(b *testing.B) {
+				rng := randx.New(17)
+				g := workload.New(workload.Spec{Dist: dist, N: int64(b.N) + 1, Seed: 9})
+				var smp core.Sampler[int64]
+				switch alg {
+				case "SB":
+					smp = core.NewSB[int64](cfg, 0.25, rng)
+				case "HB":
+					smp = core.NewHB[int64](cfg, int64(b.N)+1, rng)
+				case "HR":
+					smp = core.NewHR[int64](cfg, rng)
+				case "Concise":
+					smp = core.NewConcise[int64](cfg, 0, rng)
+				}
+				b.SetBytes(8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, _ := g.Next()
+					smp.Feed(v)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command swbench regenerates the paper's evaluation figures (Brown & Haas,
+// "Techniques for Warehousing of Sample Data", ICDE 2006).
+//
+// Each figure of the paper's §5 maps to an experiment name:
+//
+//	fig5        relative error of the q(N, p, nF) approximation (eq. 1)
+//	fig9-11     speedup of SB / HB / HR vs partition count
+//	fig12-14    scaleup of SB / HB / HR vs scale factor
+//	fig15-16    final merged sample sizes for HB / HR
+//	concise     §3.3 concise-sampling non-uniformity demonstration
+//	uniformity  chi-square uniformity audit of all three pipelines
+//	all         everything above
+//
+// The defaults run a laptop-scale configuration; pass -full for the paper's
+// original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
+// which take considerably longer.
+//
+// Usage:
+//
+//	swbench -exp all
+//	swbench -exp fig10 -logn 24 -runs 3
+//	swbench -exp fig15 -parts 1,2,4,8,16,32,64,128,256,512,1024 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"samplewh/internal/experiments"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, all")
+		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
+		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
+		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
+		scalesFlag  = flag.String("scales", "", "comma-separated scale factors")
+		per         = flag.Int64("per", 32*1024, "elements per partition (scaleup, sample sizes)")
+		runs        = flag.Int("runs", 0, "repetitions per point (default 1, paper 3)")
+		nf          = flag.Int64("nf", 8192, "sample-size bound nF")
+		p           = flag.Float64("p", 0.001, "HB exceedance probability")
+		seed        = flag.Uint64("seed", 1, "base RNG seed")
+		parallelism = flag.Int("parallelism", 0, "sampler goroutines (0 = GOMAXPROCS)")
+		trials      = flag.Int("trials", 0, "trials for concise/uniformity experiments")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:        *seed,
+		Runs:        *runs,
+		Parallelism: *parallelism,
+		NF:          *nf,
+		P:           *p,
+	}
+	if opt.Runs == 0 {
+		opt.Runs = 1
+		if *full {
+			opt.Runs = 3
+		}
+	}
+	speedupLogN := *logN
+	if speedupLogN == 0 {
+		speedupLogN = 22
+		if *full {
+			speedupLogN = 26
+		}
+	}
+	parts := parseInts(*partsFlag)
+	scales := parseInts(*scalesFlag)
+	if len(parts) == 0 && !*full {
+		parts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	if len(scales) == 0 && !*full {
+		scales = []int{8, 16, 32, 64, 128}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5":
+			fmt.Println(experiments.Fig5())
+			return nil
+		case "fig9", "fig10", "fig11":
+			alg := map[string]experiments.Alg{"fig9": experiments.AlgSB, "fig10": experiments.AlgHB, "fig11": experiments.AlgHR}[name]
+			r, err := experiments.Speedup(alg, speedupLogN, parts, opt)
+			return print(r, err)
+		case "fig12", "fig13", "fig14":
+			alg := map[string]experiments.Alg{"fig12": experiments.AlgSB, "fig13": experiments.AlgHB, "fig14": experiments.AlgHR}[name]
+			r, err := experiments.Scaleup(alg, scales, *per, opt)
+			return print(r, err)
+		case "fig15":
+			r, err := experiments.SampleSizes(experiments.AlgHB, parts, *per, opt)
+			return print(r, err)
+		case "fig16":
+			r, err := experiments.SampleSizes(experiments.AlgHR, parts, *per, opt)
+			return print(r, err)
+		case "concise":
+			r, err := experiments.ConciseNonUniformity(*trials, opt)
+			return print(r, err)
+		case "calibration":
+			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {
+				r, err := experiments.EstimatorCalibration(alg, *trials, opt)
+				if err := print(r, err); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "uniformity":
+			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {
+				r, err := experiments.UniformityAudit(alg, *trials, opt)
+				if err := print(r, err); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+			"fig15", "fig16", "concise", "uniformity", "calibration"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// print renders a report or forwards its error.
+func print(r *experiments.Report, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	return nil
+}
+
+// parseInts parses a comma-separated integer list; empty input gives nil.
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,487 @@
+// Command swcli manages a file-backed sample warehouse: create data sets,
+// ingest partition values through the bounded uniform samplers, roll
+// partitions in and out, merge arbitrary partition subsets, and answer
+// approximate queries — the full life cycle of the paper's Figure 1.
+//
+// Usage:
+//
+//	swcli -dir wh create -ds orders -alg HR -nf 8192
+//	swgen -dist uniform -n 100000 | swcli -dir wh ingest -ds orders -part day1
+//	swcli -dir wh ls
+//	swcli -dir wh info -ds orders -part day1
+//	swcli -dir wh merge -ds orders -part day1,day2
+//	swcli -dir wh estimate -ds orders -q avg
+//	swcli -dir wh estimate -ds orders -q count:100..5000
+//	swcli -dir wh rollout -ds orders -part day1
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"samplewh/internal/core"
+	"samplewh/internal/estimate"
+	"samplewh/internal/storage"
+	"samplewh/internal/warehouse"
+)
+
+// catalog is the persistent data-set registry stored alongside the samples.
+type catalog struct {
+	Datasets map[string]*catalogEntry `json:"datasets"`
+}
+
+type catalogEntry struct {
+	Algorithm  string   `json:"algorithm"`
+	NF         int64    `json:"nf"`
+	P          float64  `json:"p"`
+	SBRate     float64  `json:"sb_rate,omitempty"`
+	Partitions []string `json:"partitions"`
+	NextSeed   uint64   `json:"next_seed"`
+}
+
+func main() {
+	dir := flag.String("dir", "", "warehouse directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cli := &cli{dir: *dir}
+	if err := cli.open(); err != nil {
+		fatal(err)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cli.create(args)
+	case "ingest":
+		err = cli.ingest(args)
+	case "ls":
+		err = cli.ls(args)
+	case "info":
+		err = cli.info(args)
+	case "merge":
+		err = cli.merge(args)
+	case "estimate":
+		err = cli.estimate(args)
+	case "rollout":
+		err = cli.rollout(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: swcli -dir DIR COMMAND [flags]
+commands:
+  create   -ds NAME [-alg HR|HB|SB] [-nf 8192] [-p 0.001] [-rate 0.01]
+  ingest   -ds NAME -part ID [-expected N] [-in FILE]   (text values, one per line)
+  ls
+  info     -ds NAME [-part ID]
+  merge    -ds NAME [-part ID1,ID2,...]
+  estimate -ds NAME [-part IDS] -q QUERY   (avg | sum | median | distinct | topk:K | count:LO..HI)
+  rollout  -ds NAME -part ID`)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "swcli: %v\n", err)
+	os.Exit(1)
+}
+
+type cli struct {
+	dir string
+	cat catalog
+	wh  *warehouse.Warehouse[int64]
+}
+
+// catalogPath returns the registry file location.
+func (c *cli) catalogPath() string { return filepath.Join(c.dir, "catalog.json") }
+
+// open loads the catalog (if any) and reconstructs the warehouse.
+func (c *cli) open() error {
+	st, err := storage.NewFileStore[int64](filepath.Join(c.dir, "samples"), storage.Int64Codec{})
+	if err != nil {
+		return err
+	}
+	c.wh = warehouse.New[int64](st, 0x5357434c49) // fixed base seed; per-partition seeds come from the catalog
+	c.cat.Datasets = map[string]*catalogEntry{}
+	data, err := os.ReadFile(c.catalogPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &c.cat); err != nil {
+		return fmt.Errorf("catalog corrupt: %w", err)
+	}
+	for name, e := range c.cat.Datasets {
+		if err := c.wh.CreateDataset(name, e.config()); err != nil {
+			return err
+		}
+		for _, p := range e.Partitions {
+			if err := c.wh.Attach(name, p); err != nil {
+				return fmt.Errorf("attach %s/%s: %w", name, p, err)
+			}
+		}
+	}
+	return nil
+}
+
+// save writes the catalog atomically.
+func (c *cli) save() error {
+	data, err := json.MarshalIndent(&c.cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.catalogPath())
+}
+
+// config converts a catalog entry to a warehouse config.
+func (e *catalogEntry) config() warehouse.DatasetConfig {
+	cfg := core.ConfigForNF(e.NF)
+	cfg.ExceedProb = e.P
+	dc := warehouse.DatasetConfig{Core: cfg, SBRate: e.SBRate}
+	switch e.Algorithm {
+	case "HB":
+		dc.Algorithm = warehouse.AlgHB
+	case "SB":
+		dc.Algorithm = warehouse.AlgSB
+	default:
+		dc.Algorithm = warehouse.AlgHR
+	}
+	return dc
+}
+
+func (c *cli) create(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	alg := fs.String("alg", "HR", "algorithm: HR, HB or SB")
+	nf := fs.Int64("nf", 8192, "sample-size bound nF")
+	p := fs.Float64("p", 0.001, "HB exceedance probability")
+	rate := fs.Float64("rate", 0.01, "SB fixed sampling rate")
+	fs.Parse(args)
+	if *ds == "" {
+		return fmt.Errorf("create: -ds required")
+	}
+	switch *alg {
+	case "HR", "HB", "SB":
+	default:
+		return fmt.Errorf("create: unknown algorithm %q", *alg)
+	}
+	e := &catalogEntry{Algorithm: *alg, NF: *nf, P: *p, NextSeed: 1}
+	if *alg == "SB" {
+		e.SBRate = *rate
+	}
+	if err := c.wh.CreateDataset(*ds, e.config()); err != nil {
+		return err
+	}
+	c.cat.Datasets[*ds] = e
+	if err := c.save(); err != nil {
+		return err
+	}
+	fmt.Printf("created data set %q (alg=%s nF=%d)\n", *ds, *alg, *nf)
+	return nil
+}
+
+func (c *cli) ingest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	part := fs.String("part", "", "partition id")
+	expected := fs.Int64("expected", 0, "expected partition size (required for HB)")
+	in := fs.String("in", "", "input file (default stdin)")
+	format := fs.String("format", "text", "input format: text (one value per line) or binary (little-endian int64)")
+	fs.Parse(args)
+	if *ds == "" || *part == "" {
+		return fmt.Errorf("ingest: -ds and -part required")
+	}
+	e, ok := c.cat.Datasets[*ds]
+	if !ok {
+		return fmt.Errorf("ingest: unknown data set %q", *ds)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	smp, err := c.wh.NewSampler(*ds, *expected)
+	if err != nil {
+		return err
+	}
+	var n int64
+	switch *format {
+	case "text":
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(line, 10, 64)
+			if err != nil {
+				return fmt.Errorf("ingest: line %d: %w", n+1, err)
+			}
+			smp.Feed(v)
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	case "binary":
+		br := bufio.NewReaderSize(r, 1<<20)
+		var buf [8]byte
+		for {
+			_, err := io.ReadFull(br, buf[:])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("ingest: binary read after %d values: %w", n, err)
+			}
+			smp.Feed(int64(binary.LittleEndian.Uint64(buf[:])))
+			n++
+		}
+	default:
+		return fmt.Errorf("ingest: unknown format %q", *format)
+	}
+	if n == 0 {
+		return fmt.Errorf("ingest: no values read")
+	}
+	s, err := smp.Finalize()
+	if err != nil {
+		return err
+	}
+	if err := c.wh.RollIn(*ds, *part, s); err != nil {
+		return err
+	}
+	e.Partitions = append(e.Partitions, *part)
+	e.NextSeed++
+	if err := c.save(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d values into %s/%s: %s sample of %d elements (%d bytes)\n",
+		n, *ds, *part, s.Kind, s.Size(), s.Footprint())
+	return nil
+}
+
+func (c *cli) ls(args []string) error {
+	names := make([]string, 0, len(c.cat.Datasets))
+	for n := range c.cat.Datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("(no data sets)")
+		return nil
+	}
+	for _, n := range names {
+		e := c.cat.Datasets[n]
+		fmt.Printf("%s  alg=%s nF=%d partitions=%d\n", n, e.Algorithm, e.NF, len(e.Partitions))
+		for _, p := range e.Partitions {
+			info, err := c.wh.Info(n, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-20s %-10s sample=%-8d parent=%-12d footprint=%dB\n",
+				p, info.Kind, info.SampleSize, info.ParentSize, info.Footprint)
+		}
+	}
+	return nil
+}
+
+func (c *cli) info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	part := fs.String("part", "", "partition id")
+	fs.Parse(args)
+	if *ds == "" {
+		return fmt.Errorf("info: -ds required")
+	}
+	if *part != "" {
+		info, err := c.wh.Info(*ds, *part)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s/%s: kind=%s sample=%d parent=%d footprint=%dB\n",
+			*ds, *part, info.Kind, info.SampleSize, info.ParentSize, info.Footprint)
+		return nil
+	}
+	parts, err := c.wh.Partitions(*ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d partitions: %s\n", *ds, len(parts), strings.Join(parts, ", "))
+	return nil
+}
+
+// mergedSample resolves the -part list (empty = all) into a merged sample.
+func (c *cli) mergedSample(ds, parts string) (*core.Sample[int64], error) {
+	var ids []string
+	if parts != "" {
+		ids = strings.Split(parts, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	return c.wh.MergedSample(ds, ids...)
+}
+
+func (c *cli) merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	part := fs.String("part", "", "comma-separated partition ids (default all)")
+	fs.Parse(args)
+	if *ds == "" {
+		return fmt.Errorf("merge: -ds required")
+	}
+	m, err := c.mergedSample(*ds, *part)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged sample: kind=%s size=%d parent=%d footprint=%dB fraction=%.6f\n",
+		m.Kind, m.Size(), m.ParentSize, m.Footprint(), m.Fraction())
+	return nil
+}
+
+func (c *cli) estimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	part := fs.String("part", "", "comma-separated partition ids (default all)")
+	q := fs.String("q", "", "query: avg | sum | median | distinct | topk:K | count:LO..HI | groupby:DIV | equidepth:B")
+	fs.Parse(args)
+	if *ds == "" || *q == "" {
+		return fmt.Errorf("estimate: -ds and -q required")
+	}
+	m, err := c.mergedSample(*ds, *part)
+	if err != nil {
+		return err
+	}
+	est := estimate.New(m)
+	switch {
+	case *q == "avg":
+		e, err := est.Avg(func(v int64) float64 { return float64(v) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("AVG ≈ %s\n", e)
+	case *q == "sum":
+		e, err := est.Sum(func(v int64) float64 { return float64(v) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SUM ≈ %s\n", e)
+	case *q == "median":
+		oe, err := estimate.NewOrdered(m, func(a, b int64) bool { return a < b })
+		if err != nil {
+			return err
+		}
+		med, err := oe.Median()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MEDIAN ≈ %d\n", med)
+	case *q == "distinct":
+		fmt.Printf("DISTINCT: in-sample=%d chao1≈%.0f gee≈%.0f\n",
+			est.DistinctNaive(), est.DistinctChao1(), est.DistinctGEE())
+	case strings.HasPrefix(*q, "topk:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(*q, "topk:"))
+		if err != nil {
+			return fmt.Errorf("estimate: bad topk %q", *q)
+		}
+		for i, fe := range est.TopK(k) {
+			fmt.Printf("%2d. value=%-12d est_freq≈%.0f (sample %d)\n", i+1, fe.Value, fe.Estimated, fe.InSample)
+		}
+	case strings.HasPrefix(*q, "equidepth:"):
+		b, err := strconv.Atoi(strings.TrimPrefix(*q, "equidepth:"))
+		if err != nil || b < 2 {
+			return fmt.Errorf("estimate: bad equidepth bucket count %q", *q)
+		}
+		oe, err := estimate.NewOrdered(m, func(a, b int64) bool { return a < b })
+		if err != nil {
+			return err
+		}
+		bounds, err := oe.EquiDepth(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("equi-depth boundaries (%d buckets): %v\n", b, bounds)
+	case strings.HasPrefix(*q, "groupby:"):
+		div, err := strconv.ParseInt(strings.TrimPrefix(*q, "groupby:"), 10, 64)
+		if err != nil || div < 1 {
+			return fmt.Errorf("estimate: bad groupby divisor %q", *q)
+		}
+		groups, err := estimate.GroupBy(est, func(v int64) int64 { return v / div })
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			fmt.Printf("group %-10d count ≈ %s\n", g.Key, g.Count)
+		}
+	case strings.HasPrefix(*q, "count:"):
+		rng := strings.SplitN(strings.TrimPrefix(*q, "count:"), "..", 2)
+		if len(rng) != 2 {
+			return fmt.Errorf("estimate: bad range %q (want count:LO..HI)", *q)
+		}
+		lo, err1 := strconv.ParseInt(rng[0], 10, 64)
+		hi, err2 := strconv.ParseInt(rng[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("estimate: bad range bounds %q", *q)
+		}
+		e, err := est.Count(func(v int64) bool { return v >= lo && v <= hi })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("COUNT(%d..%d) ≈ %s\n", lo, hi, e)
+	default:
+		return fmt.Errorf("estimate: unknown query %q", *q)
+	}
+	return nil
+}
+
+func (c *cli) rollout(args []string) error {
+	fs := flag.NewFlagSet("rollout", flag.ExitOnError)
+	ds := fs.String("ds", "", "data set name")
+	part := fs.String("part", "", "partition id")
+	fs.Parse(args)
+	if *ds == "" || *part == "" {
+		return fmt.Errorf("rollout: -ds and -part required")
+	}
+	if err := c.wh.RollOut(*ds, *part); err != nil {
+		return err
+	}
+	e := c.cat.Datasets[*ds]
+	for i, p := range e.Partitions {
+		if p == *part {
+			e.Partitions = append(e.Partitions[:i], e.Partitions[i+1:]...)
+			break
+		}
+	}
+	if err := c.save(); err != nil {
+		return err
+	}
+	fmt.Printf("rolled out %s/%s\n", *ds, *part)
+	return nil
+}

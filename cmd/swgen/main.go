@@ -1,0 +1,88 @@
+// Command swgen generates the paper's synthetic evaluation data sets
+// (unique permutation, uniform, Zipfian) as a value stream, for feeding
+// other tools (e.g. swcli ingest) or external systems.
+//
+// Usage:
+//
+//	swgen -dist unique -n 1000000 -seed 7 > values.txt
+//	swgen -dist zipfian -n 65536 -format binary -out values.bin
+//
+// Text format is one decimal value per line; binary format is little-endian
+// int64.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"samplewh/internal/workload"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "unique", "distribution: unique, uniform, zipfian")
+		n      = flag.Int64("n", 1<<20, "number of values")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		format = flag.String("format", "text", "output format: text or binary")
+		out    = flag.String("out", "", "output file (default stdout)")
+		umax   = flag.Int64("umax", workload.DefaultUniformMax, "uniform range upper bound")
+		zv     = flag.Int64("zvalues", workload.DefaultZipfValues, "zipf support size")
+		zs     = flag.Float64("zskew", workload.DefaultZipfSkew, "zipf skew")
+	)
+	flag.Parse()
+
+	var d workload.Distribution
+	switch *dist {
+	case "unique":
+		d = workload.Unique
+	case "uniform":
+		d = workload.Uniform
+	case "zipfian", "zipf":
+		d = workload.Zipfian
+	default:
+		fmt.Fprintf(os.Stderr, "swgen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	g := workload.New(workload.Spec{
+		Dist: d, N: *n, Seed: *seed,
+		UniformMax: *umax, ZipfValues: *zv, ZipfSkew: *zs,
+	})
+	var buf [8]byte
+	for {
+		v, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch *format {
+		case "text":
+			fmt.Fprintln(bw, v)
+		case "binary":
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				fmt.Fprintf(os.Stderr, "swgen: write: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "swgen: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

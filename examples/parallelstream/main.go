@@ -1,0 +1,100 @@
+// Parallel stream splitting: the paper's second scenario (§2) — "the
+// bulk-load component of the data set might be small but the ongoing data
+// stream overwhelming for a single computer. Then the incoming stream could
+// be split over a number of machines and samples from the concurrent
+// sampling processes merged on demand."
+//
+// This example splits one stream round-robin across W lane samplers
+// (standing in for W machines), also cuts partitions adaptively when the
+// sampling fraction would drop below a floor (the paper's on-the-fly
+// partitioning rule), and merges everything back into one uniform sample.
+//
+// Run with: go run ./examples/parallelstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"samplewh"
+)
+
+func main() {
+	cfg := samplewh.ConfigForNF(1024)
+	rng := samplewh.NewRNG(99)
+
+	// --- Part 1: split a heavy stream across 4 lanes. ---
+	const lanes = 4
+	const streamLen = 400000
+	sp := samplewh.NewSplitter(lanes, func(i int, _ int64) samplewh.Sampler[int64] {
+		// Each lane gets an independent random stream (a "machine").
+		return samplewh.NewHRSampler[int64](cfg, uint64(1000+i))
+	})
+	g := samplewh.NewWorkload(samplewh.WorkloadSpec{
+		Dist: samplewh.WorkloadUnique, // all-distinct event ids
+		N:    streamLen,
+		Seed: 5,
+	})
+	for {
+		v, ok := g.Next()
+		if !ok {
+			break
+		}
+		sp.Feed(v)
+	}
+	laneSamples, err := sp.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range laneSamples {
+		fmt.Printf("lane %d: %s\n", i, s)
+	}
+
+	merged, err := samplewh.MergeTree(laneSamples, samplewh.HRMerge, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged across lanes: %s\n\n", merged)
+
+	// --- Part 2: adaptive partitioning under a fraction floor. ---
+	// Keep every partition's sampling fraction at or above 1/256: the
+	// partitioner finalizes the current partition the moment the bounded
+	// sample would fall below that share of its parent.
+	idx := 0
+	rp, err := samplewh.NewRatioPartitioner(1.0/256, 1024, func(i int, _ int64) samplewh.Sampler[int64] {
+		idx++
+		return samplewh.NewHRSampler[int64](cfg, uint64(2000+idx))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2 := samplewh.NewWorkload(samplewh.WorkloadSpec{
+		Dist: samplewh.WorkloadUnique,
+		N:    2_000_000,
+		Seed: 6,
+	})
+	for {
+		v, ok := g2.Next()
+		if !ok {
+			break
+		}
+		if err := rp.Feed(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	parts, err := rp.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive partitioner cut the 2M-element stream into %d partitions\n", len(parts))
+	for i, s := range parts {
+		fmt.Printf("  partition %2d: parent=%-8d sample=%-5d fraction=%.5f\n",
+			i, s.ParentSize, s.Size(), s.Fraction())
+	}
+
+	all, err := samplewh.MergeSerial(parts, samplewh.HRMerge, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform sample of the whole stream: %s\n", all)
+}

@@ -1,0 +1,74 @@
+// Quickstart: sample one data partition with each algorithm, inspect the
+// resulting bounded compact samples, and answer an approximate query.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"samplewh"
+)
+
+func main() {
+	// A footprint that holds at most 1024 values (n_F = 1024).
+	cfg := samplewh.ConfigForNF(1024)
+
+	// The data: 100,000 "order amounts" — a value stream with duplicates.
+	const n = 100000
+	values := make([]int64, 0, n)
+	g := samplewh.NewWorkload(samplewh.WorkloadSpec{
+		Dist: samplewh.WorkloadUniform,
+		N:    n,
+		Seed: 7,
+	})
+	for {
+		v, ok := g.Next()
+		if !ok {
+			break
+		}
+		values = append(values, v%1000) // fold into 1000 distinct amounts
+	}
+
+	// Algorithm HR: no advance knowledge needed, stable sample size.
+	hr := samplewh.NewHRSampler[int64](cfg, 1)
+	// Algorithm HB: needs the expected partition size to pick its
+	// Bernoulli rate q(N, p, n_F).
+	hb := samplewh.NewHBSampler[int64](cfg, n, 2)
+
+	for _, v := range values {
+		hr.Feed(v)
+		hb.Feed(v)
+	}
+
+	hrSample, err := hr.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hbSample, err := hb.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Algorithm HR:", hrSample)
+	fmt.Println("Algorithm HB:", hbSample)
+	fmt.Printf("footprint bound: %d bytes; both samples respect it\n\n",
+		cfg.FootprintBytes)
+
+	// Approximate analytics from the HR sample, with 95%% confidence
+	// intervals. Ground truth: amounts are ~uniform over 0..999, so the
+	// mean is ≈499.5 and about 10%% of the data is below 100.
+	est := samplewh.NewEstimator(hrSample)
+	avg, err := est.Avg(func(v int64) float64 { return float64(v) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	cnt, err := est.Count(func(v int64) bool { return v < 100 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimated AVG(amount):     ", avg)
+	fmt.Println("estimated COUNT(amount<100):", cnt)
+	fmt.Println("truth:                      AVG ≈ 499.5, COUNT ≈ 10000")
+}

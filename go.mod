@@ -1,0 +1,3 @@
+module samplewh
+
+go 1.24

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+// Checkpointing lets a long-running partition sampler survive process
+// restarts: Checkpoint captures the sampler's complete state — including the
+// random-generator state, so the resumed sampler produces exactly the
+// sequence the original would have — and the matching Resume function
+// rebuilds it. The state structs have only exported fields and serialize
+// cleanly with encoding/gob or encoding/json.
+//
+// Checkpointing requires the sampler's randomness source to be a *randx.RNG
+// (the default for every constructor in this repository).
+
+// HBState is the serializable state of an in-progress Algorithm HB sampler.
+type HBState[V comparable] struct {
+	Config    Config
+	ExpectedN int64
+	Q         float64
+	Phase     Phase
+	Entries   []histogram.Entry[V] // compact form (nil once expanded)
+	Bag       []V                  // expanded form
+	Expanded  bool
+	Seen      int64
+	Next      int64
+	RK        int64
+	RNG       randx.State
+	Skipper   *randx.SkipperState // non-nil in the reservoir phase
+}
+
+// Checkpoint captures the sampler's state. It errors if the sampler was
+// already finalized or draws randomness from something other than a
+// *randx.RNG.
+func (s *HB[V]) Checkpoint() (HBState[V], error) {
+	var st HBState[V]
+	if s.finalized {
+		return st, fmt.Errorf("core: Checkpoint after Finalize")
+	}
+	rng, ok := s.src.(*randx.RNG)
+	if !ok {
+		return st, fmt.Errorf("core: Checkpoint requires a *randx.RNG source, have %T", s.src)
+	}
+	st = HBState[V]{
+		Config:    s.cfg,
+		ExpectedN: s.expectedN,
+		Q:         s.q,
+		Phase:     s.phase,
+		Expanded:  s.expanded,
+		Seen:      s.seen,
+		Next:      s.next,
+		RK:        s.rk,
+		RNG:       rng.State(),
+	}
+	if s.expanded {
+		st.Bag = append([]V(nil), s.bag...)
+	} else {
+		st.Entries = s.hist.Entries()
+	}
+	if s.sk != nil {
+		sks := s.sk.State()
+		st.Skipper = &sks
+	}
+	return st, nil
+}
+
+// ResumeHBFromState reconstructs an Algorithm HB sampler from a checkpoint.
+func ResumeHBFromState[V comparable](st HBState[V]) (*HB[V], error) {
+	if err := st.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("core: resume HB: %w", err)
+	}
+	switch st.Phase {
+	case PhaseExact, PhaseBernoulli, PhaseReservoir:
+	default:
+		return nil, fmt.Errorf("core: resume HB: invalid phase %v", st.Phase)
+	}
+	rng := randx.FromState(st.RNG)
+	hb := &HB[V]{
+		cfg:       st.Config.normalized(),
+		nf:        st.Config.NF(),
+		expectedN: st.ExpectedN,
+		q:         st.Q,
+		src:       rng,
+		phase:     st.Phase,
+		expanded:  st.Expanded,
+		seen:      st.Seen,
+		next:      st.Next,
+		rk:        st.RK,
+	}
+	if st.Expanded {
+		hb.bag = append([]V(nil), st.Bag...)
+	} else {
+		hb.hist = histogram.New[V](hb.cfg.SizeModel)
+		for _, e := range st.Entries {
+			hb.hist.Insert(e.Value, e.Count)
+		}
+	}
+	if st.Skipper != nil {
+		hb.sk = randx.SkipperFromState(*st.Skipper, rng)
+	} else if st.Phase == PhaseReservoir {
+		return nil, fmt.Errorf("core: resume HB: reservoir phase without skipper state")
+	}
+	return hb, nil
+}
+
+// HRState is the serializable state of an in-progress Algorithm HR sampler.
+type HRState[V comparable] struct {
+	Config   Config
+	Phase    Phase
+	Entries  []histogram.Entry[V]
+	Bag      []V
+	Purged   bool
+	Expanded bool
+	Seen     int64
+	Next     int64
+	RK       int64
+	RNG      randx.State
+	Skipper  *randx.SkipperState
+}
+
+// Checkpoint captures the sampler's state (see HB.Checkpoint).
+func (s *HR[V]) Checkpoint() (HRState[V], error) {
+	var st HRState[V]
+	if s.finalized {
+		return st, fmt.Errorf("core: Checkpoint after Finalize")
+	}
+	rng, ok := s.src.(*randx.RNG)
+	if !ok {
+		return st, fmt.Errorf("core: Checkpoint requires a *randx.RNG source, have %T", s.src)
+	}
+	st = HRState[V]{
+		Config:   s.cfg,
+		Phase:    s.phase,
+		Purged:   s.purged,
+		Expanded: s.expanded,
+		Seen:     s.seen,
+		Next:     s.next,
+		RK:       s.rk,
+		RNG:      rng.State(),
+	}
+	if s.expanded {
+		st.Bag = append([]V(nil), s.bag...)
+	} else {
+		st.Entries = s.hist.Entries()
+	}
+	if s.sk != nil {
+		sks := s.sk.State()
+		st.Skipper = &sks
+	}
+	return st, nil
+}
+
+// ResumeHRFromState reconstructs an Algorithm HR sampler from a checkpoint.
+func ResumeHRFromState[V comparable](st HRState[V]) (*HR[V], error) {
+	if err := st.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("core: resume HR: %w", err)
+	}
+	switch st.Phase {
+	case PhaseExact, PhaseReservoir:
+	default:
+		return nil, fmt.Errorf("core: resume HR: invalid phase %v", st.Phase)
+	}
+	rng := randx.FromState(st.RNG)
+	hr := &HR[V]{
+		cfg:      st.Config.normalized(),
+		nf:       st.Config.NF(),
+		src:      rng,
+		phase:    st.Phase,
+		purged:   st.Purged,
+		expanded: st.Expanded,
+		seen:     st.Seen,
+		next:     st.Next,
+		rk:       st.RK,
+	}
+	if st.Expanded {
+		hr.bag = append([]V(nil), st.Bag...)
+	} else {
+		hr.hist = histogram.New[V](hr.cfg.SizeModel)
+		for _, e := range st.Entries {
+			hr.hist.Insert(e.Value, e.Count)
+		}
+	}
+	if st.Skipper != nil {
+		hr.sk = randx.SkipperFromState(*st.Skipper, rng)
+	} else if st.Phase == PhaseReservoir {
+		return nil, fmt.Errorf("core: resume HR: reservoir phase without skipper state")
+	}
+	return hr, nil
+}

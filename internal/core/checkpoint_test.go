@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"samplewh/internal/randx"
+)
+
+// TestHBCheckpointResumeExactSequence is the strongest checkpoint property:
+// checkpoint mid-stream, resume, continue feeding — the final sample must be
+// IDENTICAL to an uninterrupted run with the same seed, because the RNG
+// state travels with the checkpoint.
+func TestHBCheckpointResumeExactSequence(t *testing.T) {
+	for _, cut := range []int64{100, 5000, 15000} { // exact, bernoulli and late phases
+		cfg := smallCfg(128)
+		const n = 20000
+
+		// Uninterrupted reference run.
+		ref := NewHB[int64](cfg, n, randx.New(55))
+		for v := int64(0); v < n; v++ {
+			ref.Feed(v)
+		}
+		want, err := ref.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Interrupted run: checkpoint at cut, resume, continue.
+		hb := NewHB[int64](cfg, n, randx.New(55))
+		for v := int64(0); v < cut; v++ {
+			hb.Feed(v)
+		}
+		st, err := hb.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ResumeHBFromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := cut; v < n; v++ {
+			resumed.Feed(v)
+		}
+		got, err := resumed.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.ParentSize != want.ParentSize {
+			t.Fatalf("cut=%d: metadata %v vs %v", cut, got, want)
+		}
+		if !got.Hist.Equal(want.Hist) {
+			t.Fatalf("cut=%d: resumed sample differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestHRCheckpointResumeExactSequence mirrors the HB test for Algorithm HR.
+func TestHRCheckpointResumeExactSequence(t *testing.T) {
+	for _, cut := range []int64{50, 2000, 9000} {
+		cfg := smallCfg(64)
+		const n = 12000
+
+		ref := NewHR[int64](cfg, randx.New(56))
+		for v := int64(0); v < n; v++ {
+			ref.Feed(v)
+		}
+		want, err := ref.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		hr := NewHR[int64](cfg, randx.New(56))
+		for v := int64(0); v < cut; v++ {
+			hr.Feed(v)
+		}
+		st, err := hr.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ResumeHRFromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := cut; v < n; v++ {
+			resumed.Feed(v)
+		}
+		got, err := resumed.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Hist.Equal(want.Hist) {
+			t.Fatalf("cut=%d: resumed sample differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestCheckpointGobRoundTrip serializes the checkpoint through encoding/gob
+// — the intended persistence path — and resumes from the decoded bytes.
+func TestCheckpointGobRoundTrip(t *testing.T) {
+	cfg := smallCfg(64)
+	hb := NewHB[int64](cfg, 10000, randx.New(57))
+	for v := int64(0); v < 6000; v++ {
+		hb.Feed(v)
+	}
+	st, err := hb.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	var decoded HBState[int64]
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeHBFromState(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(6000); v < 10000; v++ {
+		resumed.Feed(v)
+	}
+	// Reference.
+	ref := NewHB[int64](cfg, 10000, randx.New(57))
+	for v := int64(0); v < 10000; v++ {
+		ref.Feed(v)
+	}
+	want, _ := ref.Finalize()
+	got, _ := resumed.Finalize()
+	if !got.Hist.Equal(want.Hist) {
+		t.Fatal("gob round trip broke exact resumption")
+	}
+}
+
+// TestCheckpointContinuesAfterCapture verifies the original sampler remains
+// usable after Checkpoint (the snapshot must be deep).
+func TestCheckpointContinuesAfterCapture(t *testing.T) {
+	cfg := smallCfg(32)
+	hr := NewHR[int64](cfg, randx.New(58))
+	for v := int64(0); v < 500; v++ {
+		hr.Feed(v)
+	}
+	st, err := hr.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the original after the snapshot.
+	for v := int64(500); v < 5000; v++ {
+		hr.Feed(v)
+	}
+	if _, err := hr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must still resume from 500 seen.
+	resumed, err := ResumeHRFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Seen() != 500 {
+		t.Fatalf("resumed Seen = %d, want 500", resumed.Seen())
+	}
+}
+
+// TestCheckpointErrors covers the error paths.
+func TestCheckpointErrors(t *testing.T) {
+	cfg := smallCfg(16)
+	hb := NewHB[int64](cfg, 100, randx.New(59))
+	hb.Feed(1)
+	if _, err := hb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.Checkpoint(); err == nil {
+		t.Error("checkpoint after finalize accepted")
+	}
+	hr := NewHR[int64](cfg, randx.New(60))
+	if _, err := hr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hr.Checkpoint(); err == nil {
+		t.Error("HR checkpoint after finalize accepted")
+	}
+
+	// Invalid states on resume.
+	if _, err := ResumeHBFromState(HBState[int64]{}); err == nil {
+		t.Error("zero HB state accepted")
+	}
+	if _, err := ResumeHRFromState(HRState[int64]{}); err == nil {
+		t.Error("zero HR state accepted")
+	}
+	bad := HBState[int64]{Config: cfg, Phase: PhaseReservoir, RNG: randx.New(1).State()}
+	if _, err := ResumeHBFromState(bad); err == nil {
+		t.Error("reservoir phase without skipper accepted")
+	}
+	badHR := HRState[int64]{Config: cfg, Phase: PhaseReservoir, RNG: randx.New(1).State()}
+	if _, err := ResumeHRFromState(badHR); err == nil {
+		t.Error("HR reservoir phase without skipper accepted")
+	}
+	badPhase := HBState[int64]{Config: cfg, Phase: Phase(9), RNG: randx.New(1).State()}
+	if _, err := ResumeHBFromState(badPhase); err == nil {
+		t.Error("invalid phase accepted")
+	}
+}
+
+// TestRNGStateRoundTrip verifies randx state capture resumes the exact
+// stream.
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := randx.New(123)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	r2 := randx.FromState(st)
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatalf("divergence at draw %d", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("even-increment state accepted")
+			}
+		}()
+		randx.FromState(randx.State{IncLo: 2})
+	}()
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+// conciseCfg allows exactly one (value, count) pair: 12 bytes under the
+// default model, matching the paper's §3.3 counterexample where "the
+// concise-sampling data structure can hold at most one (value, count) pair".
+func conciseCfg() Config {
+	return Config{
+		FootprintBytes: 12,
+		SizeModel:      histogram.DefaultSizeModel,
+		ExceedProb:     DefaultExceedProb,
+	}
+}
+
+// TestConciseSamplingNotUniform reproduces the paper's §3.3 counterexample:
+// population D = {1..6} with values u1=u2=u3=a, u4=u5=u6=b and space for one
+// (value, count) pair. The histogram H3 = {(a,2), b} (a size-3 sample with
+// both values) can NEVER be produced because it does not fit, whereas
+// H1 = {(a,3)} and H2 = {(b,3)} occur with positive probability. A uniform
+// scheme would give H3 nine times the probability of H1.
+func TestConciseSamplingNotUniform(t *testing.T) {
+	r := randx.New(1)
+	const trials = 20000
+	const a, b = 1, 2
+	var h1, h2, mixed3 int64
+	for trial := 0; trial < trials; trial++ {
+		c := NewConcise[int64](conciseCfg(), 0.5, r.Split())
+		for i := 0; i < 3; i++ {
+			c.Feed(a)
+		}
+		for i := 0; i < 3; i++ {
+			c.Feed(b)
+		}
+		s, err := c.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := s.Hist.Count(a), s.Hist.Count(b)
+		if ca > 0 && cb > 0 {
+			if ca+cb == 3 {
+				mixed3++
+			}
+			// Any mixed sample at all violates the footprint bound in this
+			// configuration.
+			t.Fatalf("concise sample holds both values (a:%d b:%d) with F for one pair", ca, cb)
+		}
+		if ca == 3 {
+			h1++
+		}
+		if cb == 3 {
+			h2++
+		}
+	}
+	if h1 == 0 && h2 == 0 {
+		t.Fatal("neither H1 nor H2 ever produced; test misconfigured")
+	}
+	if mixed3 != 0 {
+		t.Fatalf("H3 produced %d times; the paper says it cannot be", mixed3)
+	}
+	t.Logf("H1 seen %d times, H2 %d times, H3 (mixed size-3) 0 times over %d trials — "+
+		"a uniform scheme would make H3 nine times as likely as H1", h1, h2, trials)
+}
+
+// TestHBIsUniformWhereConciseIsNot runs the same 6-element workload through
+// Algorithm HB with an equivalent element budget and confirms that mixed
+// samples DO occur — the uniformity that concise sampling loses.
+func TestHBIsUniformWhereConciseIsNot(t *testing.T) {
+	r := randx.New(2)
+	const trials = 20000
+	var mixed int64
+	cfg := ConfigForNF(3)
+	for trial := 0; trial < trials; trial++ {
+		hb := NewHB[int64](cfg, 6, r.Split())
+		for i := 0; i < 3; i++ {
+			hb.Feed(1)
+		}
+		for i := 0; i < 3; i++ {
+			hb.Feed(2)
+		}
+		s, err := hb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Hist.Count(1) > 0 && s.Hist.Count(2) > 0 {
+			mixed++
+		}
+	}
+	if mixed == 0 {
+		t.Fatal("Algorithm HB never produced a mixed sample; uniformity broken")
+	}
+}
+
+func TestConciseExhaustiveWhenFits(t *testing.T) {
+	r := randx.New(3)
+	cfg := ConfigForNF(1024)
+	c := NewConcise[int64](cfg, 0, r)
+	for i := 0; i < 10000; i++ {
+		c.Feed(int64(i % 5))
+	}
+	s, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Exhaustive {
+		t.Fatalf("kind = %v; 5 distinct values must fit", s.Kind)
+	}
+	if s.Hist.Count(0) != 2000 {
+		t.Fatalf("count(0) = %d", s.Hist.Count(0))
+	}
+	if c.Purges() != 0 {
+		t.Fatalf("purges = %d", c.Purges())
+	}
+}
+
+func TestConciseFootprintBound(t *testing.T) {
+	r := randx.New(4)
+	cfg := ConfigForNF(64)
+	c := NewConcise[int64](cfg, 0, r)
+	for i := 0; i < 1<<13; i++ {
+		c.Feed(int64(i))
+		if fp := int64(0); fp > cfg.FootprintBytes { // placeholder for clarity
+			_ = fp
+		}
+	}
+	s, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Footprint() > cfg.FootprintBytes {
+		t.Fatalf("footprint %d exceeds F=%d", s.Footprint(), cfg.FootprintBytes)
+	}
+	if c.Q() >= 1 {
+		t.Fatal("unique stream must have reduced q below 1")
+	}
+	if c.Purges() == 0 {
+		t.Fatal("expected purges on a unique stream")
+	}
+}
+
+func TestConciseSamplingRateRoughlyHonored(t *testing.T) {
+	// After processing, sample size should be near q_final · N for a unique
+	// stream (each survivor was retained down to rate ~q_final).
+	r := randx.New(5)
+	cfg := ConfigForNF(256)
+	c := NewConcise[int64](cfg, 0.9, r)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		c.Feed(int64(i))
+	}
+	q := c.Q()
+	s, _ := c.Finalize()
+	got := float64(s.Size())
+	want := q * n
+	// Loose bound: the purge cascade makes exact accounting complicated,
+	// but the size must be within a factor of ~1/0.9 of q·N.
+	if got < want*0.8 || got > want/0.65 {
+		t.Fatalf("size %v vs q·N %v — way off", got, want)
+	}
+}
+
+func TestConcisePanics(t *testing.T) {
+	r := randx.New(6)
+	for _, f := range []func(){
+		func() { NewConcise[int64](ConfigForNF(16), 1.5, r) },
+		func() { NewConcise[int64](ConfigForNF(16), -0.1, r) },
+		func() { NewCounting[int64](ConfigForNF(16), 2, r) },
+		func() {
+			c := NewConcise[int64](ConfigForNF(16), 0, r)
+			c.FeedN(1, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	c := NewConcise[int64](ConfigForNF(16), 0, r)
+	if _, err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Finalize(); err == nil {
+		t.Fatal("double finalize")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("feed after finalize did not panic")
+			}
+		}()
+		c.Feed(1)
+	}()
+}
+
+func TestCountingSamplerCountsExactlyOnceAdmitted(t *testing.T) {
+	r := randx.New(7)
+	cfg := ConfigForNF(1024)
+	c := NewCounting[int64](cfg, 0, r)
+	// Small distinct set: everything admitted at q=1, counts exact.
+	for i := 0; i < 9000; i++ {
+		c.Feed(int64(i % 3))
+	}
+	s, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 3; v++ {
+		if s.Hist.Count(v) != 3000 {
+			t.Fatalf("count(%d) = %d, want 3000", v, s.Hist.Count(v))
+		}
+	}
+}
+
+func TestCountingSamplerDelete(t *testing.T) {
+	r := randx.New(8)
+	cfg := ConfigForNF(1024)
+	c := NewCounting[int64](cfg, 0, r)
+	for i := 0; i < 100; i++ {
+		c.Feed(7)
+	}
+	for i := 0; i < 40; i++ {
+		c.Delete(7)
+	}
+	if got := c.SampleSize(); got != 60 {
+		t.Fatalf("after deletions size = %d, want 60", got)
+	}
+	// Deleting an untracked value must be a no-op on the histogram.
+	c.Delete(999)
+	if got := c.SampleSize(); got != 60 {
+		t.Fatalf("delete of untracked value changed size to %d", got)
+	}
+	s, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hist.Count(7) != 60 {
+		t.Fatalf("count = %d", s.Hist.Count(7))
+	}
+}
+
+func TestCountingSamplerBoundedFootprint(t *testing.T) {
+	r := randx.New(9)
+	cfg := ConfigForNF(64)
+	c := NewCounting[int64](cfg, 0, r)
+	for i := 0; i < 1<<13; i++ {
+		c.Feed(int64(i))
+	}
+	s, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Footprint() > cfg.FootprintBytes {
+		t.Fatalf("footprint %d > F=%d", s.Footprint(), cfg.FootprintBytes)
+	}
+	if c.Q() >= 1 {
+		t.Fatal("q not reduced on unique stream")
+	}
+}
+
+func TestMultiPurgeStaysBelowNF(t *testing.T) {
+	r := randx.New(10)
+	cfg := ConfigForNF(128)
+	mp := NewMultiPurge[int64](cfg, 1<<13, 0, r)
+	for i := 0; i < 1<<14; i++ { // double the declared N to force purges
+		mp.Feed(int64(i))
+		if mp.SampleSize() >= 2*128 {
+			t.Fatalf("sample size %d runaway", mp.SampleSize())
+		}
+	}
+	s, err := mp.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() >= 128 {
+		t.Fatalf("final size %d >= nF", s.Size())
+	}
+	if s.Kind != BernoulliKind {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if mp.Purges() == 0 {
+		t.Fatal("expected at least one overflow purge")
+	}
+}
+
+func TestMultiPurgeUniformInclusion(t *testing.T) {
+	r := randx.New(11)
+	cfg := ConfigForNF(32)
+	const n = 1 << 10
+	const trials = 3000
+	counts := make([]int64, n)
+	var total int64
+	for trial := 0; trial < trials; trial++ {
+		mp := NewMultiPurge[int64](cfg, n/2, 0, r.Split()) // under-declared N forces purging
+		for v := int64(0); v < n; v++ {
+			mp.Feed(v)
+		}
+		s, err := mp.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s.Size()
+		s.Hist.Each(func(v int64, c int64) { counts[v]++ })
+	}
+	rate := float64(total) / float64(trials*n)
+	for v, c := range counts {
+		got := float64(c) / trials
+		se := math.Sqrt(rate * (1 - rate) / trials)
+		if math.Abs(got-rate) > 6*se {
+			t.Errorf("element %d rate %v, want %v", v, got, rate)
+		}
+	}
+}
+
+// TestMultiPurgeDominatedByHB verifies the paper's §4.1 claim used to
+// dismiss the variant: its final sample sizes are smaller (and no more
+// stable) than Algorithm HB's under the same conditions.
+func TestMultiPurgeDominatedByHB(t *testing.T) {
+	r := randx.New(12)
+	cfg := ConfigForNF(128)
+	const n = 1 << 12
+	const trials = 200
+	var hbTotal, mpTotal int64
+	for trial := 0; trial < trials; trial++ {
+		// Declare half the real size so both samplers are stressed.
+		hb := NewHB[int64](cfg, n/2, r.Split())
+		mp := NewMultiPurge[int64](cfg, n/2, 0, r.Split())
+		for v := int64(0); v < n; v++ {
+			hb.Feed(v)
+			mp.Feed(v)
+		}
+		sh, _ := hb.Finalize()
+		sm, _ := mp.Finalize()
+		hbTotal += sh.Size()
+		mpTotal += sm.Size()
+	}
+	if mpTotal >= hbTotal {
+		t.Fatalf("multi-purge mean size %v >= HB %v; expected HB to dominate",
+			float64(mpTotal)/trials, float64(hbTotal)/trials)
+	}
+}
+
+func TestMultiPurgePanics(t *testing.T) {
+	r := randx.New(13)
+	for _, f := range []func(){
+		func() { NewMultiPurge[int64](ConfigForNF(16), 0, 0, r) },
+		func() { NewMultiPurge[int64](ConfigForNF(16), 10, 1.5, r) },
+		func() { NewMultiPurge[int64](ConfigForNF(16), 10, 0, r).FeedN(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

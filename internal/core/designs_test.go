@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/randx"
+)
+
+func TestSystematicExactSize(t *testing.T) {
+	r := randx.New(1)
+	for _, k := range []int64{1, 2, 7, 100} {
+		s := NewSystematic[int64](smallCfg(1<<16), k, r)
+		const n = 10000
+		for v := int64(0); v < n; v++ {
+			s.Feed(v)
+		}
+		fin, err := s.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Size is ⌈(n−r+1)/k⌉ for start r ∈ {1..k}: either ⌊n/k⌋ or ⌈n/k⌉.
+		lo, hi := n/k, (n+k-1)/k
+		if fin.Size() < lo || fin.Size() > hi {
+			t.Fatalf("k=%d: size %d outside [%d,%d]", k, fin.Size(), lo, hi)
+		}
+		if k == 1 && fin.Kind != Exhaustive {
+			t.Fatalf("k=1 should be exhaustive, got %v", fin.Kind)
+		}
+	}
+}
+
+func TestSystematicResidueClass(t *testing.T) {
+	// All sampled indices must be congruent mod k.
+	r := randx.New(2)
+	const k = 9
+	s := NewSystematic[int64](smallCfg(1<<16), k, r)
+	for v := int64(1); v <= 1000; v++ {
+		s.Feed(v) // value == 1-based index
+	}
+	fin, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var residue int64 = -1
+	ok := true
+	fin.Hist.Each(func(v int64, c int64) {
+		if residue == -1 {
+			residue = v % k
+		} else if v%k != residue {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("systematic sample spans multiple residue classes")
+	}
+}
+
+func TestSystematicInclusionProbability(t *testing.T) {
+	// Over many random starts, each element is included with probability
+	// 1/k.
+	r := randx.New(3)
+	const k = 5
+	const n = 200
+	const trials = 20000
+	counts := make([]int64, n)
+	for trial := 0; trial < trials; trial++ {
+		s := NewSystematic[int64](smallCfg(1<<16), k, r)
+		for v := int64(0); v < n; v++ {
+			s.Feed(v)
+		}
+		fin, _ := s.Finalize()
+		fin.Hist.Each(func(v int64, c int64) { counts[v]++ })
+	}
+	want := float64(trials) / k
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d included %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestSystematicFeedNMatchesElementwise(t *testing.T) {
+	// Run the arithmetic bulk path against an element-wise reference with
+	// the same start.
+	for seed := uint64(0); seed < 20; seed++ {
+		r1 := randx.New(seed)
+		r2 := randx.New(seed)
+		a := NewSystematic[int64](smallCfg(1<<16), 7, r1)
+		b := NewSystematic[int64](smallCfg(1<<16), 7, r2)
+		a.FeedN(5, 100)
+		a.FeedN(9, 33)
+		for i := 0; i < 100; i++ {
+			b.Feed(5)
+		}
+		for i := 0; i < 33; i++ {
+			b.Feed(9)
+		}
+		sa, _ := a.Finalize()
+		sb, _ := b.Finalize()
+		if !sa.Hist.Equal(sb.Hist) {
+			t.Fatalf("seed %d: bulk and element-wise disagree", seed)
+		}
+	}
+}
+
+func TestSystematicPanics(t *testing.T) {
+	r := randx.New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k=0 did not panic")
+			}
+		}()
+		NewSystematic[int64](smallCfg(16), 0, r)
+	}()
+	s := NewSystematic[int64](smallCfg(16), 2, r)
+	if _, err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finalize(); err == nil {
+		t.Error("double finalize accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("feed after finalize did not panic")
+			}
+		}()
+		s.Feed(1)
+	}()
+}
+
+func TestWeightedReservoirCapacity(t *testing.T) {
+	r := randx.New(5)
+	w := NewWeightedReservoir[int64](smallCfg(1<<16), 100, r)
+	for v := int64(0); v < 10000; v++ {
+		w.Feed(v, 1)
+	}
+	if w.SampleSize() != 100 {
+		t.Fatalf("size %d", w.SampleSize())
+	}
+	if w.Seen() != 10000 {
+		t.Fatalf("seen %d", w.Seen())
+	}
+	fin, err := w.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Size() != 100 || fin.ParentSize != 10000 {
+		t.Fatalf("finalized %v", fin)
+	}
+}
+
+func TestWeightedReservoirFavorsHeavyElements(t *testing.T) {
+	// Element 0 has weight 100, the rest weight 1; over repeated runs
+	// element 0 must appear far more often than an average light element.
+	r := randx.New(6)
+	const trials = 3000
+	const n = 500
+	const k = 10
+	var heavy, lightTotal int64
+	for trial := 0; trial < trials; trial++ {
+		w := NewWeightedReservoir[int64](smallCfg(1<<16), k, r.Split())
+		for v := int64(0); v < n; v++ {
+			wt := 1.0
+			if v == 0 {
+				wt = 100
+			}
+			w.Feed(v, wt)
+		}
+		for _, it := range w.Items() {
+			if it.Value == 0 {
+				heavy++
+			} else {
+				lightTotal++
+			}
+		}
+	}
+	heavyRate := float64(heavy) / trials
+	lightRate := float64(lightTotal) / (trials * (n - 1))
+	if heavyRate < 0.7 {
+		t.Fatalf("heavy element inclusion rate %v, want well above light elements", heavyRate)
+	}
+	if heavyRate < 10*lightRate {
+		t.Fatalf("heavy rate %v not much larger than light rate %v", heavyRate, lightRate)
+	}
+}
+
+func TestWeightedReservoirUniformWeightsMatchSRS(t *testing.T) {
+	// With equal weights, A-Res degenerates to a simple random sample:
+	// every element equally likely.
+	r := randx.New(7)
+	const trials = 10000
+	const n = 100
+	const k = 10
+	counts := make([]int64, n)
+	for trial := 0; trial < trials; trial++ {
+		w := NewWeightedReservoir[int64](smallCfg(1<<16), k, r.Split())
+		for v := int64(0); v < n; v++ {
+			w.Feed(v, 1)
+		}
+		for _, it := range w.Items() {
+			counts[it.Value]++
+		}
+	}
+	want := float64(trials) * k / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d included %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestWeightedReservoirIgnoresBadWeights(t *testing.T) {
+	r := randx.New(8)
+	w := NewWeightedReservoir[int64](smallCfg(1<<16), 5, r)
+	w.Feed(1, 0)
+	w.Feed(2, -3)
+	w.Feed(3, math.NaN())
+	if w.SampleSize() != 0 {
+		t.Fatalf("bad-weight elements sampled: %d", w.SampleSize())
+	}
+	if w.Seen() != 3 {
+		t.Fatalf("seen %d", w.Seen())
+	}
+	if w.TotalWeight() != 0 {
+		t.Fatalf("total weight %v", w.TotalWeight())
+	}
+}
+
+func TestMergeWeightedMatchesSingleStream(t *testing.T) {
+	// Distributional check: merging two halves must behave like one
+	// reservoir over the concatenation — compare heavy-element inclusion
+	// rates.
+	r := randx.New(9)
+	const trials = 3000
+	const n = 400
+	const k = 8
+	var mergedHeavy, directHeavy int64
+	for trial := 0; trial < trials; trial++ {
+		feed := func(w *WeightedReservoir[int64], lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				wt := 1.0
+				if v == 0 {
+					wt = 50
+				}
+				w.Feed(v, wt)
+			}
+		}
+		a := NewWeightedReservoir[int64](smallCfg(1<<16), k, r.Split())
+		b := NewWeightedReservoir[int64](smallCfg(1<<16), k, r.Split())
+		feed(a, 0, n/2)
+		feed(b, n/2, n)
+		m, err := MergeWeighted(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seen() != n {
+			t.Fatalf("merged seen %d", m.Seen())
+		}
+		if m.SampleSize() != k {
+			t.Fatalf("merged size %d", m.SampleSize())
+		}
+		for _, it := range m.Items() {
+			if it.Value == 0 {
+				mergedHeavy++
+			}
+		}
+		d := NewWeightedReservoir[int64](smallCfg(1<<16), k, r.Split())
+		feed(d, 0, n)
+		for _, it := range d.Items() {
+			if it.Value == 0 {
+				directHeavy++
+			}
+		}
+	}
+	mr := float64(mergedHeavy) / trials
+	dr := float64(directHeavy) / trials
+	if math.Abs(mr-dr) > 0.05 {
+		t.Fatalf("merged heavy rate %v vs direct %v", mr, dr)
+	}
+}
+
+func TestMergeWeightedErrors(t *testing.T) {
+	r := randx.New(10)
+	a := NewWeightedReservoir[int64](smallCfg(16), 2, r)
+	if _, err := MergeWeighted(a, nil); err == nil {
+		t.Error("nil reservoir accepted")
+	}
+	b := NewWeightedReservoir[int64](smallCfg(16), 2, r)
+	if _, err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeWeighted(a, b); err == nil {
+		t.Error("finalized reservoir accepted")
+	}
+}
+
+func TestWeightedReservoirPanics(t *testing.T) {
+	r := randx.New(11)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k=0 did not panic")
+			}
+		}()
+		NewWeightedReservoir[int64](smallCfg(16), 0, r)
+	}()
+	w := NewWeightedReservoir[int64](smallCfg(16), 1, r)
+	if _, err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("feed after finalize did not panic")
+			}
+		}()
+		w.Feed(1, 1)
+	}()
+}

@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: bounded-footprint,
+// compact, statistically uniform sampling of data-set partitions and merging
+// of the per-partition samples.
+//
+// The samplers are
+//
+//   - HB (hybrid Bernoulli, paper §4.1 Figure 2): exact histogram →
+//     Bernoulli(q) with q from equation (1) → reservoir fallback;
+//   - HR (hybrid reservoir, paper §4.2 Figure 7): exact histogram →
+//     reservoir of size n_F;
+//   - SB (stratified Bernoulli, paper §5): the fixed-rate baseline with no
+//     footprint bound;
+//   - Concise and Counting samples (Gibbons & Matias, paper §3.3): the prior
+//     art the paper proves non-uniform, kept as baselines.
+//
+// Finalized samples are Sample values that record their statistical kind
+// (exhaustive, Bernoulli, or reservoir) together with the parent partition
+// size; Merge combines two Samples from disjoint partitions into a uniform
+// Sample of the union, implementing HBMerge (Figure 6) and HRMerge
+// (Figure 8, Theorem 1).
+//
+// All randomness flows through an explicit randx.Source, so every sampler
+// and merge is reproducible from a seed.
+package core

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+// smallCfg admits nf values under the default model.
+func smallCfg(nf int64) Config {
+	return ConfigForNF(nf)
+}
+
+func TestHBExhaustiveWhenSmall(t *testing.T) {
+	r := randx.New(1)
+	hb := NewHB[int64](smallCfg(64), 1000, r)
+	for v := int64(0); v < 20; v++ {
+		hb.FeedN(v, 3)
+	}
+	if hb.Phase() != PhaseExact {
+		t.Fatalf("phase = %v, want exact", hb.Phase())
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Exhaustive {
+		t.Fatalf("kind = %v, want exhaustive", s.Kind)
+	}
+	if s.Size() != 60 || s.ParentSize != 60 {
+		t.Fatalf("size=%d parent=%d", s.Size(), s.ParentSize)
+	}
+	for v := int64(0); v < 20; v++ {
+		if s.Hist.Count(v) != 3 {
+			t.Fatalf("count(%d) = %d, want 3", v, s.Hist.Count(v))
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHBZipfStaysExhaustive(t *testing.T) {
+	// The paper notes that for the Zipf data set "the number of distinct
+	// values is small and hence the samples are always exhaustive".
+	r := randx.New(2)
+	z := randx.NewZipf(1000, 1)
+	hb := NewHB[int64](smallCfg(8192), 1<<16, r)
+	for i := 0; i < 1<<16; i++ {
+		hb.Feed(z.Sample(r))
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Exhaustive {
+		t.Fatalf("Zipf(1000) over 64K elements gave kind %v, want exhaustive", s.Kind)
+	}
+	if s.Size() != 1<<16 {
+		t.Fatalf("exhaustive size = %d", s.Size())
+	}
+}
+
+func TestHBBernoulliPhaseUniqueData(t *testing.T) {
+	r := randx.New(3)
+	const n = 1 << 16
+	cfg := smallCfg(1024)
+	hb := NewHB[int64](cfg, n, r)
+	for v := int64(0); v < n; v++ {
+		hb.Feed(v)
+	}
+	if hb.Phase() != PhaseBernoulli {
+		t.Fatalf("phase = %v, want bernoulli", hb.Phase())
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != BernoulliKind {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if s.Size() >= 1024 {
+		t.Fatalf("sample size %d >= nF", s.Size())
+	}
+	// Sample size should be near q·N.
+	want := s.Q * n
+	if math.Abs(float64(s.Size())-want) > 6*math.Sqrt(want) {
+		t.Fatalf("sample size %d far from q·N = %v", s.Size(), want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHBFootprintNeverExceedsBound(t *testing.T) {
+	r := randx.New(4)
+	cfg := smallCfg(256)
+	hb := NewHB[int64](cfg, 1<<14, r)
+	for i := 0; i < 1<<14; i++ {
+		hb.Feed(int64(i % 3000)) // mix of duplicates and fresh values
+		if fp := hb.CurrentFootprint(); fp > cfg.FootprintBytes {
+			t.Fatalf("footprint %d exceeded bound %d after %d elements",
+				fp, cfg.FootprintBytes, i+1)
+		}
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Footprint() > cfg.FootprintBytes {
+		t.Fatalf("final footprint %d exceeds bound", s.Footprint())
+	}
+}
+
+func TestHBReservoirFallback(t *testing.T) {
+	// Force phase 3 by lying about N: tell the sampler the partition is
+	// tiny (so q is high) and then overfeed it.
+	r := randx.New(5)
+	cfg := smallCfg(128)
+	hb := NewHB[int64](cfg, 200, r) // q will be close to 1
+	const actual = 1 << 14
+	for v := int64(0); v < actual; v++ {
+		hb.Feed(v)
+	}
+	if hb.Phase() != PhaseReservoir {
+		t.Fatalf("phase = %v, want reservoir", hb.Phase())
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != ReservoirKind {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if s.Size() != 128 {
+		t.Fatalf("reservoir size = %d, want nF = 128", s.Size())
+	}
+	if s.ParentSize != actual {
+		t.Fatalf("parent size = %d", s.ParentSize)
+	}
+}
+
+func TestHBFeedNMatchesFeedDistribution(t *testing.T) {
+	// FeedN(v, n) must be distributionally identical to n Feeds: compare
+	// mean sample sizes over repeated runs.
+	const trials = 300
+	const runs = 64
+	var bulkTotal, singleTotal int64
+	for trial := 0; trial < trials; trial++ {
+		r1 := randx.NewStream(uint64(trial), 1)
+		hb1 := NewHB[int64](smallCfg(64), runs*40, r1)
+		for v := int64(0); v < runs; v++ {
+			hb1.FeedN(v%11, 40)
+		}
+		s1, _ := hb1.Finalize()
+		bulkTotal += s1.Size()
+
+		r2 := randx.NewStream(uint64(trial), 2)
+		hb2 := NewHB[int64](smallCfg(64), runs*40, r2)
+		for v := int64(0); v < runs; v++ {
+			for j := 0; j < 40; j++ {
+				hb2.Feed(v % 11)
+			}
+		}
+		s2, _ := hb2.Finalize()
+		singleTotal += s2.Size()
+	}
+	b := float64(bulkTotal) / trials
+	s := float64(singleTotal) / trials
+	if math.Abs(b-s) > 0.05*math.Max(b, s)+2 {
+		t.Fatalf("bulk mean %v vs single mean %v differ", b, s)
+	}
+}
+
+func TestHBPerElementInclusionUniform(t *testing.T) {
+	// Every element of the stream must appear in the final sample with equal
+	// probability (distinct values so appearances are attributable).
+	r := randx.New(6)
+	const n = 512
+	const trials = 4000
+	cfg := smallCfg(32)
+	counts := make([]int64, n)
+	var sizeTotal int64
+	for trial := 0; trial < trials; trial++ {
+		hb := NewHB[int64](cfg, n, r.Split())
+		for v := int64(0); v < n; v++ {
+			hb.Feed(v)
+		}
+		s, err := hb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizeTotal += s.Size()
+		s.Hist.Each(func(v int64, c int64) {
+			if c != 1 {
+				t.Fatalf("distinct stream produced count %d", c)
+			}
+			counts[v]++
+		})
+	}
+	meanRate := float64(sizeTotal) / float64(trials*n)
+	for v, c := range counts {
+		got := float64(c) / trials
+		se := math.Sqrt(meanRate * (1 - meanRate) / trials)
+		if math.Abs(got-meanRate) > 6*se {
+			t.Errorf("element %d inclusion rate %v, want %v (se %v)", v, got, meanRate, se)
+		}
+	}
+}
+
+func TestHBSubsetUniformityGivenSize(t *testing.T) {
+	// The formal uniformity property: conditioned on |S| = k, all subsets of
+	// size k are equally likely. Tiny population of 6 distinct values,
+	// nF = 2 so the sampler is forced through its bounded machinery.
+	r := randx.New(7)
+	const n = 6
+	const trials = 120000
+	cfg := smallCfg(2)
+	bySize := map[int]map[uint8]int64{}
+	for trial := 0; trial < trials; trial++ {
+		hb := NewHB[int64](cfg, n, r.Split())
+		for v := int64(0); v < n; v++ {
+			hb.Feed(v)
+		}
+		s, err := hb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mask uint8
+		s.Hist.Each(func(v int64, c int64) { mask |= 1 << uint(v) })
+		k := int(s.Size())
+		if bySize[k] == nil {
+			bySize[k] = map[uint8]int64{}
+		}
+		bySize[k][mask]++
+	}
+	for k, dist := range bySize {
+		if k == 0 || k == n {
+			continue
+		}
+		var total int64
+		for _, c := range dist {
+			total += c
+		}
+		if total < 5000 {
+			continue // not enough mass to test this size class
+		}
+		nSubsets := float64(choose(n, k))
+		want := float64(total) / nSubsets
+		if want < 20 {
+			continue
+		}
+		for mask, c := range dist {
+			if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+				t.Errorf("size %d subset %06b: %d occurrences, want ~%.0f", k, mask, c, want)
+			}
+		}
+		if float64(len(dist)) < nSubsets {
+			t.Errorf("size %d: only %d of %v subsets observed", k, len(dist), nSubsets)
+		}
+	}
+}
+
+// choose computes small binomial coefficients for tests.
+func choose(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := int64(1)
+	for i := 0; i < k; i++ {
+		res = res * int64(n-i) / int64(i+1)
+	}
+	return res
+}
+
+func TestHBPanicsAfterFinalize(t *testing.T) {
+	r := randx.New(8)
+	hb := NewHB[int64](smallCfg(16), 100, r)
+	hb.Feed(1)
+	if _, err := hb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.Finalize(); err == nil {
+		t.Fatal("second Finalize did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed after Finalize did not panic")
+		}
+	}()
+	hb.Feed(2)
+}
+
+func TestHBConstructorPanics(t *testing.T) {
+	r := randx.New(9)
+	for _, f := range []func(){
+		func() { NewHB[int64](smallCfg(16), 0, r) },
+		func() { NewHB[int64](Config{FootprintBytes: -1}, 10, r) },
+		func() { NewHB[int64](smallCfg(16), 10, r).FeedN(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHBAccessors(t *testing.T) {
+	r := randx.New(10)
+	hb := NewHB[int64](smallCfg(100), 5000, r)
+	if hb.NF() != 100 {
+		t.Fatalf("NF = %d", hb.NF())
+	}
+	if q := hb.Q(); q <= 0 || q >= 1 {
+		t.Fatalf("Q = %v", q)
+	}
+	hb.FeedN(1, 7)
+	if hb.Seen() != 7 {
+		t.Fatalf("Seen = %d", hb.Seen())
+	}
+	if hb.SampleSize() != 7 {
+		t.Fatalf("SampleSize = %d", hb.SampleSize())
+	}
+}
+
+func TestHBStringValues(t *testing.T) {
+	// The sampler is generic; exercise it with string values and a wider
+	// size model.
+	r := randx.New(11)
+	cfg := Config{
+		FootprintBytes: 64 * 20,
+		SizeModel:      histogram.SizeModel{ValueBytes: 20, CountBytes: 4},
+		ExceedProb:     0.001,
+	}
+	hb := NewHB[string](cfg, 1000, r)
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 1000; i++ {
+		hb.Feed(words[i%len(words)])
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Exhaustive {
+		t.Fatalf("4 distinct strings should stay exhaustive, got %v", s.Kind)
+	}
+	if s.Hist.Count("alpha") != 250 {
+		t.Fatalf("count(alpha) = %d", s.Hist.Count("alpha"))
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"samplewh/internal/randx"
+)
+
+// QApprox returns the Bernoulli sampling rate q(N, p, nF) from the paper's
+// equation (1): the closed-form normal approximation to the largest q such
+// that a Bern(q) sample of a population of size N exceeds nF values with
+// probability at most p,
+//
+//	q ≈ [N(2·nF + z²) − z·sqrt(N(N·z² + 4·N·nF − 4·nF²))] / [2N(N + z²)],
+//
+// where z = z_p is the (1−p)-quantile of the standard normal distribution.
+//
+// The approximation is derived for the "usual case" where N is large, nF/N
+// is not vanishingly small, and p ≤ 0.5; Figure 5 of the paper (and our
+// reproduction) shows its relative error stays below 3%.
+//
+// When nF >= N the whole population fits and QApprox returns 1.
+func QApprox(n int64, p float64, nf int64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: QApprox with N = %d <= 0", n))
+	}
+	if nf <= 0 {
+		panic(fmt.Sprintf("core: QApprox with nF = %d <= 0", nf))
+	}
+	if p <= 0 || p > 0.5 {
+		panic(fmt.Sprintf("core: QApprox with p = %v outside (0, 0.5]", p))
+	}
+	if nf >= n {
+		return 1
+	}
+	fn := float64(n)
+	fnf := float64(nf)
+	z := randx.NormalQuantile(1 - p)
+	z2 := z * z
+	disc := fn * (fn*z2 + 4*fn*fnf - 4*fnf*fnf)
+	q := (fn*(2*fnf+z2) - z*math.Sqrt(disc)) / (2 * fn * (fn + z2))
+	// Clamp against floating-point excursions at the boundaries.
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// QExact returns the exact solution q of f(q) = p where
+//
+//	f(q) = P{Bin(N, q) > nF} = Σ_{j=nF+1}^{N} C(N,j) q^j (1−q)^{N−j},
+//
+// computed by bisection over the monotone binomial tail (evaluated through
+// the regularized incomplete beta function). This is the ground truth that
+// Figure 5 measures the equation-(1) approximation against.
+//
+// The result is accurate to within tol in q (absolute). When nF >= N the
+// tail is identically 0 < p and QExact returns 1.
+func QExact(n int64, p float64, nf int64, tol float64) float64 {
+	if n <= 0 || nf <= 0 {
+		panic(fmt.Sprintf("core: QExact with N = %d, nF = %d; both must be > 0", n, nf))
+	}
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("core: QExact with p = %v outside (0, 1)", p))
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if nf >= n {
+		return 1
+	}
+	f := func(q float64) float64 { return randx.BinomialTail(n, nf, q) }
+	// f is increasing in q with f(0) = 0 and f(1) = 1, so a root of
+	// f(q) − p exists in (0, 1).
+	lo, hi := 0.0, 1.0
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if f(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// QApproxRelError returns the relative error |QApprox − QExact| / QExact for
+// the given parameters: the quantity plotted in the paper's Figure 5.
+func QApproxRelError(n int64, p float64, nf int64) float64 {
+	exact := QExact(n, p, nf, 1e-13)
+	approx := QApprox(n, p, nf)
+	if exact == 0 {
+		return 0
+	}
+	return math.Abs(approx-exact) / exact
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+func TestQApproxBounds(t *testing.T) {
+	for _, c := range []struct {
+		n, nf int64
+		p     float64
+	}{
+		{100000, 100, 0.001},
+		{100000, 1000, 0.001},
+		{100000, 10000, 0.001},
+		{1 << 25, 8192, 0.001},
+		{32768, 8192, 0.00001},
+	} {
+		q := QApprox(c.n, c.p, c.nf)
+		if q <= 0 || q >= 1 {
+			t.Errorf("QApprox(%d,%v,%d) = %v outside (0,1)", c.n, c.p, c.nf, q)
+		}
+		// The whole point of q: P{Bin(N,q) > nF} should be ≈ p (and in any
+		// case well below 10·p given the approximation error).
+		tail := randx.BinomialTail(c.n, c.nf, q)
+		if tail > 3*c.p {
+			t.Errorf("QApprox(%d,%v,%d): exceedance %v way above target %v",
+				c.n, c.p, c.nf, tail, c.p)
+		}
+	}
+}
+
+func TestQApproxWholePopulationFits(t *testing.T) {
+	if got := QApprox(100, 0.001, 100); got != 1 {
+		t.Errorf("QApprox with nF = N returned %v, want 1", got)
+	}
+	if got := QApprox(100, 0.001, 200); got != 1 {
+		t.Errorf("QApprox with nF > N returned %v, want 1", got)
+	}
+}
+
+func TestQApproxMonotoneInN(t *testing.T) {
+	prev := 1.1
+	for _, n := range []int64{20000, 40000, 80000, 160000, 320000} {
+		q := QApprox(n, 0.001, 8192)
+		if q >= prev {
+			t.Fatalf("q not decreasing in N: q(%d) = %v >= %v", n, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQApproxPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { QApprox(0, 0.001, 10) },
+		func() { QApprox(10, 0.001, 0) },
+		func() { QApprox(10, 0, 10) },
+		func() { QApprox(10, 0.7, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("QApprox misuse did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQExactHitsTarget(t *testing.T) {
+	for _, c := range []struct {
+		n, nf int64
+		p     float64
+	}{
+		{100000, 1000, 0.001},
+		{100000, 100, 0.0001},
+		{32768, 8192, 0.001},
+	} {
+		q := QExact(c.n, c.p, c.nf, 1e-13)
+		tail := randx.BinomialTail(c.n, c.nf, q)
+		if math.Abs(tail-c.p)/c.p > 0.01 {
+			t.Errorf("QExact(%d,%v,%d): tail %v, want %v", c.n, c.p, c.nf, tail, c.p)
+		}
+	}
+}
+
+// TestFigure5MaxRelativeError reproduces the paper's Figure 5 claim: for
+// N = 10^5, nF ∈ {10², 10³, 10⁴} and p ∈ [10⁻⁵, 5·10⁻³], the relative error
+// of approximation (1) never exceeds 3% (the paper reports max 2.765%).
+func TestFigure5MaxRelativeError(t *testing.T) {
+	const n = 100000
+	ps := []float64{0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005}
+	maxErr := 0.0
+	for _, nf := range []int64{100, 1000, 10000} {
+		for _, p := range ps {
+			re := QApproxRelError(n, p, nf)
+			if re > maxErr {
+				maxErr = re
+			}
+			if re > 0.03 {
+				t.Errorf("relative error %v at nF=%d p=%v exceeds the paper's 3%% bound", re, nf, p)
+			}
+		}
+	}
+	t.Logf("max relative error over Figure 5 grid: %.4f%% (paper: 2.765%%)", maxErr*100)
+}
+
+func TestQApproxRelErrorSmallAtLargeNF(t *testing.T) {
+	// The paper's figure shows error shrinking with nF; at nF = 10^4 it is
+	// well under 0.1%.
+	if re := QApproxRelError(100000, 0.001, 10000); re > 0.001 {
+		t.Errorf("relative error at nF=10^4: %v, want < 0.1%%", re)
+	}
+}
+
+func TestConfigNF(t *testing.T) {
+	cfg := ConfigForNF(8192)
+	if cfg.NF() != 8192 {
+		t.Fatalf("ConfigForNF(8192).NF() = %d", cfg.NF())
+	}
+	if cfg.FootprintBytes != 65536 {
+		t.Fatalf("footprint = %d, want 65536", cfg.FootprintBytes)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := histogram.DefaultSizeModel
+	bad := []Config{
+		{FootprintBytes: 0, SizeModel: m, ExceedProb: 0.001},
+		{FootprintBytes: -5, SizeModel: m, ExceedProb: 0.001},
+		{FootprintBytes: 100, SizeModel: m, ExceedProb: 0.9},
+		{FootprintBytes: 4, SizeModel: m, ExceedProb: 0.001}, // NF = 0
+		{FootprintBytes: 100, SizeModel: histogram.SizeModel{ValueBytes: -8, CountBytes: 4}, ExceedProb: 0.001},
+		{FootprintBytes: 100, SizeModel: histogram.SizeModel{ValueBytes: 8, CountBytes: -4}, ExceedProb: 0.001},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly: %+v", i, cfg)
+		}
+	}
+}

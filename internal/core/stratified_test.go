@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/randx"
+)
+
+func TestNewStratifiedValidation(t *testing.T) {
+	r := randx.New(1)
+	cfg := smallCfg(64)
+	s1 := collectHRt(t, cfg, 0, 1000, r.Split())
+	if _, err := NewStratified[int64](); err == nil {
+		t.Error("empty strata accepted")
+	}
+	if _, err := NewStratified(s1, nil); err == nil {
+		t.Error("nil stratum accepted")
+	}
+	s2 := collectHRt(t, smallCfg(128), 1000, 2000, r.Split())
+	if _, err := NewStratified(s1, s2); err == nil {
+		t.Error("incompatible strata accepted")
+	}
+}
+
+// collectHRt is a local helper mirroring merge_test's collectHR.
+func collectHRt(t *testing.T, cfg Config, lo, hi int64, src randx.Source) *Sample[int64] {
+	t.Helper()
+	hr := NewHR[int64](cfg, src)
+	for v := lo; v < hi; v++ {
+		hr.Feed(v)
+	}
+	s, err := hr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStratifiedAccessors(t *testing.T) {
+	r := randx.New(2)
+	cfg := smallCfg(32)
+	s1 := collectHRt(t, cfg, 0, 1000, r.Split())
+	s2 := collectHRt(t, cfg, 1000, 4000, r.Split())
+	st, err := NewStratified(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumStrata() != 2 {
+		t.Fatalf("NumStrata = %d", st.NumStrata())
+	}
+	if st.ParentSize() != 4000 {
+		t.Fatalf("ParentSize = %d", st.ParentSize())
+	}
+	if st.SampleSize() != 64 {
+		t.Fatalf("SampleSize = %d", st.SampleSize())
+	}
+}
+
+func TestStratifiedCollapse(t *testing.T) {
+	r := randx.New(3)
+	cfg := smallCfg(32)
+	s1 := collectHRt(t, cfg, 0, 1000, r.Split())
+	s2 := collectHRt(t, cfg, 1000, 2000, r.Split())
+	st, err := NewStratified(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Collapse(HRMerge, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParentSize != 2000 || m.Size() != 32 {
+		t.Fatalf("collapsed: %v", m)
+	}
+}
+
+func TestUnionBernoulliEqualRates(t *testing.T) {
+	r := randx.New(4)
+	cfg := smallCfg(1 << 20)
+	var samples []*Sample[int64]
+	for p := int64(0); p < 4; p++ {
+		sb := NewSB[int64](cfg, 0.1, r.Split())
+		for v := p * 10000; v < (p+1)*10000; v++ {
+			sb.Feed(v)
+		}
+		s, _ := sb.Finalize()
+		samples = append(samples, s)
+	}
+	u, err := UnionBernoulli(samples, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != BernoulliKind || u.Q != 0.1 || u.ParentSize != 40000 {
+		t.Fatalf("union: %v", u)
+	}
+	want := 0.1 * 40000
+	if math.Abs(float64(u.Size())-want) > 6*math.Sqrt(want) {
+		t.Fatalf("union size %d, want ~%.0f", u.Size(), want)
+	}
+}
+
+func TestUnionBernoulliMixedRatesEqualized(t *testing.T) {
+	r := randx.New(5)
+	cfg := smallCfg(1 << 20)
+	mk := func(q float64, lo, hi int64) *Sample[int64] {
+		sb := NewSB[int64](cfg, q, r.Split())
+		for v := lo; v < hi; v++ {
+			sb.Feed(v)
+		}
+		s, _ := sb.Finalize()
+		return s
+	}
+	u, err := UnionBernoulli([]*Sample[int64]{
+		mk(0.2, 0, 20000),
+		mk(0.05, 20000, 40000),
+		mk(0.1, 40000, 60000),
+	}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Q != 0.05 {
+		t.Fatalf("union q = %v, want 0.05", u.Q)
+	}
+	want := 0.05 * 60000
+	if math.Abs(float64(u.Size())-want) > 6*math.Sqrt(want) {
+		t.Fatalf("union size %d, want ~%.0f", u.Size(), want)
+	}
+}
+
+func TestUnionBernoulliWithExhaustive(t *testing.T) {
+	r := randx.New(6)
+	cfg := smallCfg(1 << 20)
+	sb := NewSB[int64](cfg, 0.5, r.Split())
+	for v := int64(0); v < 10000; v++ {
+		sb.Feed(v)
+	}
+	s1, _ := sb.Finalize()
+	s2 := collectHRt(t, cfg, 10000, 10100, r.Split()) // exhaustive (small)
+	if s2.Kind != Exhaustive {
+		t.Fatal("setup: not exhaustive")
+	}
+	u, err := UnionBernoulli([]*Sample[int64]{s1, s2}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Q != 0.5 || u.ParentSize != 10100 {
+		t.Fatalf("union: %v", u)
+	}
+}
+
+func TestUnionBernoulliAllExhaustiveIsExhaustive(t *testing.T) {
+	r := randx.New(7)
+	cfg := smallCfg(1 << 20)
+	s1 := collectHRt(t, cfg, 0, 100, r.Split())
+	s2 := collectHRt(t, cfg, 100, 300, r.Split())
+	u, err := UnionBernoulli([]*Sample[int64]{s1, s2}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != Exhaustive || u.Size() != 300 {
+		t.Fatalf("union: %v", u)
+	}
+}
+
+func TestUnionBernoulliRejectsReservoir(t *testing.T) {
+	r := randx.New(8)
+	cfg := smallCfg(32)
+	s1 := collectHRt(t, cfg, 0, 10000, r.Split()) // reservoir
+	if _, err := UnionBernoulli([]*Sample[int64]{s1}, r.Split()); err == nil {
+		t.Fatal("reservoir sample accepted")
+	}
+	if _, err := UnionBernoulli[int64](nil, r.Split()); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+}
+
+func TestSymmetricMergerMatchesHRMergeStatistically(t *testing.T) {
+	r := randx.New(9)
+	cfg := smallCfg(32)
+	const n1, n2 = 1000, 1000
+	const trials = 3000
+	counts := make([]int64, n1+n2)
+	m := NewSymmetricMerger[int64]()
+	for trial := 0; trial < trials; trial++ {
+		s1 := collectHRt(t, cfg, 0, n1, r.Split())
+		s2 := collectHRt(t, cfg, n1, n1+n2, r.Split())
+		out, err := m.Merge(s1, s2, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Size() != 32 {
+			t.Fatalf("size = %d", out.Size())
+		}
+		out.Hist.Each(func(v int64, c int64) { counts[v]++ })
+	}
+	// All trials share the same parameter triple: exactly one cached table.
+	if m.CachedTables() != 1 {
+		t.Fatalf("cached tables = %d, want 1", m.CachedTables())
+	}
+	want := float64(trials) * 32 / (n1 + n2)
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d included %d times, want ~%.1f", v, c, want)
+		}
+	}
+}
+
+func TestSymmetricMergerTreeReusesTablesPerLevel(t *testing.T) {
+	r := randx.New(10)
+	cfg := smallCfg(32)
+	const parts = 16
+	const per = 2048
+	var samples []*Sample[int64]
+	for i := int64(0); i < parts; i++ {
+		samples = append(samples, collectHRt(t, cfg, i*per, (i+1)*per, r.Split()))
+	}
+	m := NewSymmetricMerger[int64]()
+	out, err := MergeTree(samples, m.Merge, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ParentSize != parts*per || out.Size() != 32 {
+		t.Fatalf("merged: %v", out)
+	}
+	// A balanced tree over equal partitions needs log2(parts) distinct
+	// parameter triples.
+	if m.CachedTables() != 4 {
+		t.Fatalf("cached tables = %d, want 4 (log2 of %d)", m.CachedTables(), parts)
+	}
+}
+
+func TestSymmetricMergerExhaustiveDelegation(t *testing.T) {
+	r := randx.New(11)
+	cfg := smallCfg(1024)
+	s1 := collectHRt(t, cfg, 0, 100, r.Split())
+	s2 := collectHRt(t, cfg, 100, 200, r.Split())
+	m := NewSymmetricMerger[int64]()
+	out, err := m.Merge(s1, s2, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != Exhaustive || out.Size() != 200 {
+		t.Fatalf("merged: %v", out)
+	}
+	if m.CachedTables() != 0 {
+		t.Fatal("exhaustive merge built an alias table")
+	}
+}

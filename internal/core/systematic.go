@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+// SystematicSampler implements 1-in-k systematic sampling with a random
+// start: element i (1-based) is included iff i ≡ r (mod k) for a start r
+// drawn uniformly from {1..k}. The paper lists systematic sampling among the
+// "other useful sampling designs" targeted as future work (§6); it is
+// provided here as an extension.
+//
+// Systematic samples have exactly ⌈(N−r+1)/k⌉ elements and each element has
+// inclusion probability 1/k, but the scheme is NOT uniform over subsets
+// (inclusions are perfectly correlated within a residue class), so
+// systematic samples must not be fed to the uniform merge procedures.
+// Their advantage is implicit stratification over arrival order and an
+// exactly predictable sample size; Finalize reports the sample as
+// BernoulliKind with Q = 1/k for estimator compatibility (the plug-in
+// estimators remain unbiased), which is the standard practice.
+type SystematicSampler[V comparable] struct {
+	cfg       Config
+	k         int64
+	next      int64 // 1-based index of the next element to include
+	hist      *histogram.Histogram[V]
+	seen      int64
+	finalized bool
+}
+
+// NewSystematic returns a 1-in-k systematic sampler with a random start
+// drawn from src. It panics if k < 1.
+func NewSystematic[V comparable](cfg Config, k int64, src randx.Source) *SystematicSampler[V] {
+	cfg = cfg.normalized()
+	if k < 1 {
+		panic(fmt.Sprintf("core: NewSystematic with k = %d < 1", k))
+	}
+	return &SystematicSampler[V]{
+		cfg:  cfg,
+		k:    k,
+		next: randx.UniformInt(src, k),
+		hist: histogram.New[V](cfg.SizeModel),
+	}
+}
+
+// K returns the sampling interval.
+func (s *SystematicSampler[V]) K() int64 { return s.k }
+
+// Seen returns the number of elements processed.
+func (s *SystematicSampler[V]) Seen() int64 { return s.seen }
+
+// SampleSize returns the current number of sampled elements.
+func (s *SystematicSampler[V]) SampleSize() int64 { return s.hist.Size() }
+
+// Feed processes one arriving element.
+func (s *SystematicSampler[V]) Feed(v V) { s.FeedN(v, 1) }
+
+// FeedN processes a run of n equal values; the number of inclusions in the
+// run is computed arithmetically.
+func (s *SystematicSampler[V]) FeedN(v V, n int64) {
+	if s.finalized {
+		panic("core: SystematicSampler fed after Finalize")
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("core: FeedN with n = %d < 1", n))
+	}
+	end := s.seen + n
+	if s.next <= end {
+		// Inclusions at s.next, s.next+k, ... up to end.
+		m := (end-s.next)/s.k + 1
+		s.hist.Insert(v, m)
+		s.next += m * s.k
+	}
+	s.seen = end
+}
+
+// Finalize returns the systematic sample (reported as a rate-1/k Bernoulli
+// sample for estimator compatibility; see the type comment for caveats).
+func (s *SystematicSampler[V]) Finalize() (*Sample[V], error) {
+	if s.finalized {
+		return nil, fmt.Errorf("core: SystematicSampler already finalized")
+	}
+	s.finalized = true
+	kind := BernoulliKind
+	q := 1 / float64(s.k)
+	if s.k == 1 {
+		kind = Exhaustive
+		q = 1
+	}
+	return &Sample[V]{
+		Kind:       kind,
+		Hist:       s.hist,
+		ParentSize: s.seen,
+		Q:          q,
+		Config:     s.cfg,
+	}, nil
+}
+
+var _ Sampler[int64] = (*SystematicSampler[int64])(nil)

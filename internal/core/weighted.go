@@ -1,0 +1,168 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+)
+
+// WeightedReservoir implements biased (weighted) sampling without
+// replacement with an a priori bounded sample size k, using the
+// Efraimidis–Spirakis A-Res scheme: each arriving element with weight w > 0
+// draws a key u^(1/w) (u uniform) and the k largest keys are retained in a
+// min-heap. The inclusion probabilities are proportional-ish to the weights
+// (exactly: sequential weighted sampling without replacement).
+//
+// Biased sampling is the last of the paper's §6 future-work designs; like
+// systematic samples, weighted samples are not uniform and must not be fed
+// to the uniform merge procedures. Two WeightedReservoirs over disjoint
+// partitions CAN be merged exactly, however, by merging their key-heaps —
+// implemented in MergeWeighted — because the per-element keys are
+// independent of the partitioning.
+type WeightedReservoir[V comparable] struct {
+	cfg       Config
+	k         int64
+	src       randx.Source
+	h         weightedHeap[V]
+	seen      int64
+	totalW    float64
+	finalized bool
+}
+
+// weightedItem is one retained element with its A-Res key.
+type weightedItem[V comparable] struct {
+	value  V
+	weight float64
+	key    float64
+}
+
+// weightedHeap is a min-heap on key, so the smallest retained key is
+// evicted first.
+type weightedHeap[V comparable] []weightedItem[V]
+
+func (h weightedHeap[V]) Len() int           { return len(h) }
+func (h weightedHeap[V]) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h weightedHeap[V]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *weightedHeap[V]) Push(x any)        { *h = append(*h, x.(weightedItem[V])) }
+func (h *weightedHeap[V]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewWeightedReservoir returns a size-k weighted reservoir. It panics if
+// k < 1.
+func NewWeightedReservoir[V comparable](cfg Config, k int64, src randx.Source) *WeightedReservoir[V] {
+	cfg = cfg.normalized()
+	if k < 1 {
+		panic(fmt.Sprintf("core: NewWeightedReservoir with k = %d < 1", k))
+	}
+	return &WeightedReservoir[V]{cfg: cfg, k: k, src: src}
+}
+
+// K returns the reservoir capacity.
+func (w *WeightedReservoir[V]) K() int64 { return w.k }
+
+// Seen returns the number of elements processed.
+func (w *WeightedReservoir[V]) Seen() int64 { return w.seen }
+
+// TotalWeight returns the sum of all weights fed so far.
+func (w *WeightedReservoir[V]) TotalWeight() float64 { return w.totalW }
+
+// SampleSize returns the current reservoir occupancy.
+func (w *WeightedReservoir[V]) SampleSize() int64 { return int64(w.h.Len()) }
+
+// Feed processes one element with the given weight. Elements with
+// non-positive or NaN weight are counted but can never be sampled.
+func (w *WeightedReservoir[V]) Feed(v V, weight float64) {
+	if w.finalized {
+		panic("core: WeightedReservoir fed after Finalize")
+	}
+	w.seen++
+	if !(weight > 0) { // also rejects NaN
+		return
+	}
+	w.totalW += weight
+	// A-Res key: u^(1/w) for u ~ uniform(0,1).
+	key := math.Pow(randx.Float64Open(w.src), 1/weight)
+	if int64(w.h.Len()) < w.k {
+		heap.Push(&w.h, weightedItem[V]{value: v, weight: weight, key: key})
+		return
+	}
+	if key > w.h[0].key {
+		w.h[0] = weightedItem[V]{value: v, weight: weight, key: key}
+		heap.Fix(&w.h, 0)
+	}
+}
+
+// Items returns the retained (value, weight) pairs in unspecified order.
+func (w *WeightedReservoir[V]) Items() []WeightedValue[V] {
+	out := make([]WeightedValue[V], 0, w.h.Len())
+	for _, it := range w.h {
+		out = append(out, WeightedValue[V]{Value: it.value, Weight: it.weight})
+	}
+	return out
+}
+
+// WeightedValue pairs a sampled value with its weight.
+type WeightedValue[V comparable] struct {
+	Value  V
+	Weight float64
+}
+
+// Finalize returns the weighted sample as a compact histogram Sample of
+// ReservoirKind. The statistical design (weighted, not uniform) is the
+// caller's to remember; the histogram simply records the retained values.
+func (w *WeightedReservoir[V]) Finalize() (*Sample[V], error) {
+	if w.finalized {
+		return nil, fmt.Errorf("core: WeightedReservoir already finalized")
+	}
+	w.finalized = true
+	h := histogram.New[V](w.cfg.SizeModel)
+	for _, it := range w.h {
+		h.Insert(it.value, 1)
+	}
+	return &Sample[V]{
+		Kind:       ReservoirKind,
+		Hist:       h,
+		ParentSize: w.seen,
+		Config:     w.cfg,
+	}, nil
+}
+
+// MergeWeighted merges two weighted reservoirs over disjoint partitions
+// into one weighted reservoir of capacity min(k1, k2): the union of the two
+// key-heaps, cut to the k largest keys. Because every element's key was
+// drawn independently, the result is distributed exactly as if one
+// reservoir had processed the concatenated stream. Inputs are consumed.
+func MergeWeighted[V comparable](a, b *WeightedReservoir[V]) (*WeightedReservoir[V], error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("core: MergeWeighted with nil reservoir")
+	}
+	if a.finalized || b.finalized {
+		return nil, fmt.Errorf("core: MergeWeighted with finalized reservoir")
+	}
+	k := a.k
+	if b.k < k {
+		k = b.k
+	}
+	out := &WeightedReservoir[V]{
+		cfg:    a.cfg,
+		k:      k,
+		src:    a.src,
+		seen:   a.seen + b.seen,
+		totalW: a.totalW + b.totalW,
+	}
+	items := append(a.h, b.h...)
+	heap.Init(&items)
+	for int64(items.Len()) > k {
+		heap.Pop(&items) // drop the smallest keys
+	}
+	out.h = items
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps test runs quick.
+func fastOpts() Options {
+	return Options{Seed: 7, Runs: 1, NF: 256, P: 0.001}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "t", Header: []string{"a", "bee"}}
+	r.Add(1, 2.5)
+	r.Add("x", "y")
+	r.Note("hello %d", 42)
+	out := r.String()
+	for _, want := range []string{"== t ==", "a", "bee", "2.5", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5MatchesPaperBound(t *testing.T) {
+	r := Fig5()
+	if len(r.Rows) != 9 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", cell, err)
+			}
+			if v > 3.0 {
+				t.Fatalf("relative error %v%% exceeds the paper's 3%% bound", v)
+			}
+		}
+	}
+}
+
+func TestSpeedupSmall(t *testing.T) {
+	for _, alg := range []Alg{AlgSB, AlgHB, AlgHR} {
+		r, err := Speedup(alg, 14, []int{1, 2, 4}, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(r.Rows) != 3 {
+			t.Fatalf("%s: %d rows", alg, len(r.Rows))
+		}
+		// Merged sample must cover the whole population.
+		if r.Rows[0][0] != "1" {
+			t.Fatalf("%s: first row %v", alg, r.Rows[0])
+		}
+	}
+}
+
+func TestScaleupSmall(t *testing.T) {
+	r, err := Scaleup(AlgHR, []int{2, 4}, 4096, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || len(r.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestSampleSizesHRPinnedAtNF(t *testing.T) {
+	opt := fastOpts()
+	r, err := SampleSizes(AlgHR, []int{1, 2, 4}, 4096, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != float64(opt.NF) {
+				t.Fatalf("HR merged size %v != nF %d (row %v)", v, opt.NF, row)
+			}
+		}
+	}
+}
+
+func TestSampleSizesHBBelowNF(t *testing.T) {
+	opt := fastOpts()
+	r, err := SampleSizes(AlgHB, []int{2, 4, 8}, 4096, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows[0]) != 5 {
+		t.Fatalf("HB report should have 4 data columns, got %v", r.Rows[0])
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= float64(opt.NF) || v <= 0 {
+				t.Fatalf("HB merged size %v outside (0, nF)", v)
+			}
+		}
+	}
+}
+
+func TestConciseNonUniformityDemo(t *testing.T) {
+	r, err := ConciseNonUniformity(5000, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// Concise row: mixed must be 0; HB row: mixed must be > 0.
+	if r.Rows[0][3] != "0" {
+		t.Fatalf("concise mixed count = %s", r.Rows[0][3])
+	}
+	if r.Rows[1][3] == "0" {
+		t.Fatal("HB produced no mixed samples")
+	}
+}
+
+func TestUniformityAuditPasses(t *testing.T) {
+	for _, alg := range []Alg{AlgSB, AlgHB, AlgHR} {
+		r, err := UniformityAudit(alg, 800, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !strings.Contains(r.Rows[0][3], "uniform (fail to reject)") {
+			t.Fatalf("%s flagged non-uniform: %v", alg, r.Rows[0])
+		}
+	}
+}
+
+func TestEstimatorCalibration(t *testing.T) {
+	for _, alg := range []Alg{AlgHR, AlgHB} {
+		r, err := EstimatorCalibration(alg, 150, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for _, row := range r.Rows {
+			cov := strings.TrimSuffix(row[1], "%")
+			v, err := strconv.ParseFloat(cov, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 85 || v > 100 {
+				t.Fatalf("%s %s coverage %v%%, want ≈95%%", alg, row[0], v)
+			}
+		}
+	}
+}

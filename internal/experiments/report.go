@@ -1,0 +1,82 @@
+// Package experiments regenerates every result figure of the paper's
+// evaluation (§5): the equation-(1) accuracy grid (Figure 5), the speedup
+// curves (Figures 9–11), the scaleup curves (Figures 12–14), the final
+// sample-size behavior (Figures 15–16), and — as an extra — the §3.3
+// concise-sampling non-uniformity demonstration. Each harness reproduces
+// the paper's procedure: partitions are sampled in parallel and the
+// per-partition samples combined by a sequence of pairwise merges executed
+// serially.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a rendered experiment result: a titled table of rows plus notes.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row formatted with %v.
+func (r *Report) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note appends a free-text note rendered under the table.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+// Package fenwick implements a binary indexed tree (Fenwick tree) over
+// int64 counts. The sample warehouse uses it to select reservoir-purge
+// victims in O(log m): the paper's purgeReservoir (Figure 4, line 9) picks
+// the entry l whose cumulative count interval contains a uniform random
+// index v, i.e. a weighted selection by prefix sums.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over n slots of non-negative int64 counts.
+// The zero value is an empty tree; construct with New for a sized tree.
+type Tree struct {
+	tree  []int64 // 1-based internal array
+	total int64
+}
+
+// New returns a tree with n zero-initialized slots.
+func New(n int) *Tree {
+	if n < 0 {
+		panic(fmt.Sprintf("fenwick: New with n = %d < 0", n))
+	}
+	return &Tree{tree: make([]int64, n+1)}
+}
+
+// FromCounts builds a tree initialized with the given counts in O(n).
+func FromCounts(counts []int64) *Tree {
+	t := New(len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			panic("fenwick: FromCounts with negative count")
+		}
+		t.tree[i+1] = c
+		t.total += c
+	}
+	// O(n) construction: push each node's value into its parent.
+	for i := 1; i <= len(counts); i++ {
+		j := i + (i & -i)
+		if j <= len(counts) {
+			t.tree[j] += t.tree[i]
+		}
+	}
+	return t
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return len(t.tree) - 1 }
+
+// Total returns the sum of all counts.
+func (t *Tree) Total() int64 { return t.total }
+
+// Add adds delta to slot i (0-based). The resulting count must stay
+// non-negative; Add panics otherwise (checked via the running total of the
+// slot, which costs one Prefix query only when delta is negative).
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.Len() {
+		panic(fmt.Sprintf("fenwick: Add index %d out of range [0,%d)", i, t.Len()))
+	}
+	if delta < 0 && t.Count(i)+delta < 0 {
+		panic("fenwick: Add would make a count negative")
+	}
+	t.total += delta
+	for j := i + 1; j < len(t.tree); j += j & -j {
+		t.tree[j] += delta
+	}
+}
+
+// Prefix returns the sum of slots [0, i] (0-based, inclusive).
+// Prefix(-1) is 0.
+func (t *Tree) Prefix(i int) int64 {
+	if i < -1 || i >= t.Len() {
+		panic(fmt.Sprintf("fenwick: Prefix index %d out of range [-1,%d)", i, t.Len()))
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & -j {
+		s += t.tree[j]
+	}
+	return s
+}
+
+// Count returns the count in slot i.
+func (t *Tree) Count(i int) int64 {
+	if i < 0 || i >= t.Len() {
+		panic(fmt.Sprintf("fenwick: Count index %d out of range [0,%d)", i, t.Len()))
+	}
+	return t.Prefix(i) - t.Prefix(i-1)
+}
+
+// Select returns the smallest slot index l such that Prefix(l) >= v, for
+// 1 <= v <= Total(). This is exactly the paper's victim rule: "l = γ such
+// that Σ_{i<γ} n_i < v ≤ Σ_{i≤γ} n_i". It panics if v is out of range.
+func (t *Tree) Select(v int64) int {
+	if v < 1 || v > t.total {
+		panic(fmt.Sprintf("fenwick: Select v = %d out of range [1,%d]", v, t.total))
+	}
+	pos := 0
+	// Highest power of two <= Len.
+	bit := 1
+	for bit<<1 <= t.Len() {
+		bit <<= 1
+	}
+	rem := v
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next < len(t.tree) && t.tree[next] < rem {
+			rem -= t.tree[next]
+			pos = next
+		}
+	}
+	return pos // pos is 0-based slot index of the selected entry
+}

@@ -1,0 +1,194 @@
+package fenwick
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatalf("empty tree: Len=%d Total=%d", tr.Len(), tr.Total())
+	}
+}
+
+func TestAddAndPrefix(t *testing.T) {
+	tr := New(5)
+	tr.Add(0, 3)
+	tr.Add(2, 4)
+	tr.Add(4, 1)
+	wantPrefix := []int64{3, 3, 7, 7, 8}
+	for i, w := range wantPrefix {
+		if got := tr.Prefix(i); got != w {
+			t.Errorf("Prefix(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := tr.Prefix(-1); got != 0 {
+		t.Errorf("Prefix(-1) = %d", got)
+	}
+	if tr.Total() != 8 {
+		t.Errorf("Total = %d, want 8", tr.Total())
+	}
+}
+
+func TestCount(t *testing.T) {
+	tr := FromCounts([]int64{5, 0, 3, 2})
+	for i, w := range []int64{5, 0, 3, 2} {
+		if got := tr.Count(i); got != w {
+			t.Errorf("Count(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFromCountsMatchesAdds(t *testing.T) {
+	counts := []int64{1, 5, 0, 2, 9, 0, 0, 3, 4}
+	a := FromCounts(counts)
+	b := New(len(counts))
+	for i, c := range counts {
+		if c != 0 {
+			b.Add(i, c)
+		}
+	}
+	for i := range counts {
+		if a.Prefix(i) != b.Prefix(i) {
+			t.Fatalf("Prefix(%d): FromCounts=%d Adds=%d", i, a.Prefix(i), b.Prefix(i))
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	// counts: slot 0 holds 3 (v=1..3), slot 2 holds 4 (v=4..7), slot 4 holds 1 (v=8).
+	tr := FromCounts([]int64{3, 0, 4, 0, 1})
+	cases := []struct {
+		v    int64
+		want int
+	}{{1, 0}, {2, 0}, {3, 0}, {4, 2}, {7, 2}, {8, 4}}
+	for _, c := range cases {
+		if got := tr.Select(c.v); got != c.want {
+			t.Errorf("Select(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSelectAfterUpdates(t *testing.T) {
+	tr := FromCounts([]int64{2, 2, 2})
+	tr.Add(1, -2)
+	if got := tr.Select(3); got != 2 {
+		t.Errorf("Select(3) after removal = %d, want 2", got)
+	}
+	if got := tr.Select(2); got != 0 {
+		t.Errorf("Select(2) = %d, want 0", got)
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	tr := FromCounts([]int64{1, 1})
+	for _, v := range []int64{0, 3, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Select(%d) did not panic", v)
+				}
+			}()
+			tr.Select(v)
+		}()
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	tr := FromCounts([]int64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add driving count negative did not panic")
+		}
+	}()
+	tr.Add(0, -2)
+}
+
+func TestIndexPanics(t *testing.T) {
+	tr := New(3)
+	for _, f := range []func(){
+		func() { tr.Add(3, 1) },
+		func() { tr.Add(-1, 1) },
+		func() { tr.Prefix(3) },
+		func() { tr.Count(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromCountsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromCounts with negative count did not panic")
+		}
+	}()
+	FromCounts([]int64{1, -1})
+}
+
+// TestSelectPropertyMatchesLinearScan cross-checks Select against the naive
+// O(n) definition on random inputs.
+func TestSelectPropertyMatchesLinearScan(t *testing.T) {
+	check := func(raw []uint8, pick uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int64, len(raw))
+		var total int64
+		for i, r := range raw {
+			counts[i] = int64(r % 7)
+			total += counts[i]
+		}
+		if total == 0 {
+			return true
+		}
+		tr := FromCounts(counts)
+		v := int64(pick)%total + 1
+		got := tr.Select(v)
+		// Naive: smallest l with prefix >= v.
+		var run int64
+		want := -1
+		for i, c := range counts {
+			run += c
+			if run >= v {
+				want = i
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	counts := make([]int64, 8192)
+	for i := range counts {
+		counts[i] = int64(i%13) + 1
+	}
+	tr := FromCounts(counts)
+	total := tr.Total()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += tr.Select(int64(i)%total + 1)
+	}
+	_ = sink
+}

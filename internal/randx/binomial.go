@@ -1,0 +1,116 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial returns a binomial(n, p) random variate: the number of successes
+// in n independent Bernoulli(p) trials. It is the binomial(n, p) primitive
+// of the paper's purgeBernoulli function (Figure 3), which lets a Bernoulli
+// subsample of a compact (value, count) pair be drawn in O(1) instead of
+// flipping count coins.
+//
+// Strategy (following Devroye and Hörmann, as the paper suggests via [5]):
+//   - exploit symmetry so the working probability is ≤ 1/2;
+//   - for small mean n·p, use inversion by sequential CDF search;
+//   - otherwise use the BTRS transformed-rejection algorithm, which has
+//     bounded expected work for arbitrarily large n.
+//
+// Binomial panics if n < 0 or p is NaN. p outside [0,1] is clamped.
+func Binomial(s Source, n int64, p float64) int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("randx: Binomial with n = %d < 0", n))
+	}
+	if math.IsNaN(p) {
+		panic("randx: Binomial with p = NaN")
+	}
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n == 1 {
+		// Single trial: one coin flip (the hot path when samplers feed
+		// elements one at a time).
+		if Float64(s) < p {
+			return 1
+		}
+		return 0
+	}
+	if p > 0.5 {
+		return n - Binomial(s, n, 1-p)
+	}
+	if float64(n)*p < 10 {
+		return binomialInversion(s, n, p)
+	}
+	return binomialBTRS(s, n, p)
+}
+
+// binomialInversion draws a binomial variate by walking the CDF from 0.
+// Expected work is O(n·p), so it is only used for small means.
+func binomialInversion(s Source, n int64, p float64) int64 {
+	q := 1 - p
+	// r = P{X = 0} = q^n; computed in log space to avoid underflow for
+	// large n with tiny p.
+	r := math.Exp(float64(n) * math.Log1p(-p))
+	u := Float64(s)
+	var x int64
+	cdf := r
+	for u > cdf {
+		// pmf recurrence: P(x+1) = P(x) · (n−x)/(x+1) · p/q
+		r *= float64(n-x) / float64(x+1) * (p / q)
+		x++
+		cdf += r
+		if x > n { // numerical guard; the loop terminates mathematically
+			return n
+		}
+		if r == 0 { // underflow in the extreme tail
+			return x
+		}
+	}
+	return x
+}
+
+// binomialBTRS is Hörmann's BTRS algorithm (transformed rejection with
+// squeeze), valid for n·p ≥ 10 and p ≤ 1/2. Expected number of iterations
+// is about 1.15 independent of n and p.
+func binomialBTRS(s Source, n int64, p float64) int64 {
+	fn := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(fn * p * q)
+
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/b
+
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((fn + 1) * p) // mode
+	lgM, _ := math.Lgamma(m + 1)
+	lgNM, _ := math.Lgamma(fn - m + 1)
+	h := lgM + lgNM
+
+	for {
+		u := Float64(s) - 0.5
+		v := Float64(s)
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > fn {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		// Acceptance test on the log scale.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		lgK, _ := math.Lgamma(k + 1)
+		lgNK, _ := math.Lgamma(fn - k + 1)
+		accept := h - lgK - lgNK + (k-m)*lpq
+		if v <= accept {
+			return int64(k)
+		}
+	}
+}

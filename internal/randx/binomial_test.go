@@ -1,0 +1,196 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(20)
+	if got := Binomial(r, 0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := Binomial(r, 100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d", got)
+	}
+	if got := Binomial(r, 100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d", got)
+	}
+	if got := Binomial(r, 100, -0.5); got != 0 {
+		t.Errorf("Binomial(100, -0.5) = %d", got)
+	}
+	if got := Binomial(r, 100, 1.5); got != 100 {
+		t.Errorf("Binomial(100, 1.5) = %d", got)
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	r := New(21)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Binomial with n<0 did not panic")
+			}
+		}()
+		Binomial(r, -1, 0.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Binomial with NaN p did not panic")
+			}
+		}()
+		Binomial(r, 10, math.NaN())
+	}()
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(22)
+	for _, c := range []struct {
+		n int64
+		p float64
+	}{{1, 0.5}, {10, 0.01}, {100, 0.5}, {1000, 0.999}, {100000, 0.3}} {
+		for i := 0; i < 1000; i++ {
+			x := Binomial(r, c.n, c.p)
+			if x < 0 || x > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, x)
+			}
+		}
+	}
+}
+
+// binomialMoments draws repeatedly and checks mean and variance against
+// theory within a z-sigma window.
+func binomialMoments(t *testing.T, r *RNG, n int64, p float64, draws int) {
+	t.Helper()
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		x := float64(Binomial(r, n, p))
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(draws)
+	variance := sumsq/float64(draws) - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	// SE of the sample mean; 5 sigma.
+	seMean := math.Sqrt(wantVar / float64(draws))
+	if math.Abs(mean-wantMean) > 5*seMean+1e-9 {
+		t.Errorf("Binomial(%d,%v): mean = %v, want %v (±%v)", n, p, mean, wantMean, 5*seMean)
+	}
+	// Variance of the sample variance ~ 2σ⁴/m for near-normal; allow 10%.
+	if wantVar > 5 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Errorf("Binomial(%d,%v): variance = %v, want %v", n, p, variance, wantVar)
+	}
+}
+
+func TestBinomialMomentsInversionRegime(t *testing.T) {
+	r := New(23)
+	binomialMoments(t, r, 20, 0.2, 50000)     // n·p = 4
+	binomialMoments(t, r, 1000, 0.005, 50000) // n·p = 5
+}
+
+func TestBinomialMomentsBTRSRegime(t *testing.T) {
+	r := New(24)
+	binomialMoments(t, r, 100, 0.5, 50000)     // n·p = 50
+	binomialMoments(t, r, 10000, 0.01, 50000)  // n·p = 100
+	binomialMoments(t, r, 1000000, 0.3, 20000) // large n
+}
+
+func TestBinomialChiSquareSmall(t *testing.T) {
+	// Exact distributional check for n=8, p=0.4 via a chi-square-style
+	// statistic with generous bound (avoids importing stats and creating an
+	// import cycle).
+	r := New(25)
+	const n = 8
+	const p = 0.4
+	const draws = 200000
+	counts := make([]int64, n+1)
+	for i := 0; i < draws; i++ {
+		counts[Binomial(r, n, p)]++
+	}
+	var chi2 float64
+	for k := 0; k <= n; k++ {
+		e := float64(draws) * math.Exp(LogBinomialPMF(n, int64(k), p))
+		d := float64(counts[k]) - e
+		chi2 += d * d / e
+	}
+	// df = 8; P{chi2 > 30} < 0.0002.
+	if chi2 > 30 {
+		t.Fatalf("binomial inversion chi2 = %v (df=8), distribution looks wrong", chi2)
+	}
+}
+
+func TestBinomialChiSquareBTRS(t *testing.T) {
+	// Distributional check in the BTRS regime: n=200, p=0.25, binned.
+	r := New(26)
+	const n = 200
+	const p = 0.25
+	const draws = 100000
+	// Bin k into 25 cells of width 2 centred on the mean.
+	const cells = 25
+	lo := int64(25) // ~ mean − 4σ (mean 50, σ ≈ 6.1)
+	hi := int64(75)
+	width := (hi - lo) / cells
+	counts := make([]int64, cells+2)
+	for i := 0; i < draws; i++ {
+		k := Binomial(r, n, p)
+		switch {
+		case k < lo:
+			counts[0]++
+		case k >= hi:
+			counts[cells+1]++
+		default:
+			counts[1+(k-lo)/width]++
+		}
+	}
+	expected := make([]float64, cells+2)
+	for k := int64(0); k <= n; k++ {
+		pk := math.Exp(LogBinomialPMF(n, k, p))
+		switch {
+		case k < lo:
+			expected[0] += pk
+		case k >= hi:
+			expected[cells+1] += pk
+		default:
+			expected[1+(k-lo)/width] += pk
+		}
+	}
+	var chi2 float64
+	for i := range counts {
+		e := expected[i] * draws
+		if e < 1 {
+			continue
+		}
+		d := float64(counts[i]) - e
+		chi2 += d * d / e
+	}
+	// df ≈ 21; P{chi2 > 55} < 1e-4.
+	if chi2 > 55 {
+		t.Fatalf("BTRS chi2 = %v, distribution looks wrong", chi2)
+	}
+}
+
+func TestBinomialSymmetry(t *testing.T) {
+	// p > 0.5 goes through the reflection path; check the mean.
+	r := New(27)
+	binomialMoments(t, r, 100, 0.9, 50000)
+}
+
+func BenchmarkBinomialInversion(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += Binomial(r, 1000, 0.005)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += Binomial(r, 1000000, 0.3)
+	}
+	_ = sink
+}

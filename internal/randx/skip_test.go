@@ -1,0 +1,169 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// skipTail computes P{S > s} = Π_{j=t+1}^{t+s} (j−k)/j exactly.
+func skipTail(k, t, s int64) float64 {
+	p := 1.0
+	for j := t + 1; j <= t+s; j++ {
+		p *= float64(j-k) / float64(j)
+	}
+	return p
+}
+
+// skipMean computes E[S] = Σ_{m≥0} P{S > m} to convergence, maintaining the
+// tail incrementally so the cost is linear in the support explored.
+func skipMean(k, t int64) float64 {
+	var mean float64
+	tail := 1.0
+	for m := int64(0); ; m++ {
+		tail *= float64(t+m+1-k) / float64(t+m+1) // tail = P{S > m}
+		mean += tail
+		if tail < 1e-12 || m > 1<<24 {
+			break
+		}
+	}
+	return mean
+}
+
+func testSkipDistribution(t *testing.T, forceX, forceZ bool, k, tt int64) {
+	t.Helper()
+	r := New(40)
+	const draws = 50000
+	var sum float64
+	counts := make(map[int64]int64)
+	for i := 0; i < draws; i++ {
+		sk := NewSkipper(r, k)
+		sk.ForceX = forceX
+		sk.ForceZ = forceZ
+		s := sk.Skip(tt)
+		if s < 0 {
+			t.Fatalf("negative skip %d", s)
+		}
+		sum += float64(s)
+		counts[s]++
+	}
+	want := skipMean(k, tt)
+	got := sum / draws
+	if math.Abs(got-want)/math.Max(want, 1) > 0.05 {
+		t.Errorf("skip mean (k=%d t=%d X=%v Z=%v) = %v, want %v", k, tt, forceX, forceZ, got, want)
+	}
+	// Check a few small quantile cells against the exact distribution.
+	for s := int64(0); s < 5; s++ {
+		wantP := skipTail(k, tt, s) - skipTail(k, tt, s+1)
+		gotP := float64(counts[s]) / draws
+		if wantP > 0.01 && math.Abs(gotP-wantP)/wantP > 0.15 {
+			t.Errorf("P{S=%d} (k=%d t=%d) = %v, want %v", s, k, tt, gotP, wantP)
+		}
+	}
+}
+
+func TestSkipAlgorithmX(t *testing.T) {
+	testSkipDistribution(t, true, false, 10, 10)
+	testSkipDistribution(t, true, false, 10, 100)
+	testSkipDistribution(t, true, false, 100, 150)
+}
+
+func TestSkipAlgorithmZ(t *testing.T) {
+	testSkipDistribution(t, false, true, 10, 500)
+	testSkipDistribution(t, false, true, 50, 5000)
+	testSkipDistribution(t, false, true, 8, 100000)
+}
+
+func TestSkipThresholdSelection(t *testing.T) {
+	// Below threshold, X and the default must agree in distribution (both
+	// are exact); above, Z engages. Just check defaults run and are sane.
+	r := New(41)
+	sk := NewSkipper(r, 16)
+	for tt := int64(16); tt < 16*30; tt += 7 {
+		if s := sk.Skip(tt); s < 0 {
+			t.Fatalf("negative skip at t=%d", tt)
+		}
+	}
+}
+
+func TestSkipPanicsBelowK(t *testing.T) {
+	r := New(42)
+	sk := NewSkipper(r, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Skip(t<k) did not panic")
+		}
+	}()
+	sk.Skip(9)
+}
+
+func TestNewSkipperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSkipper(k=0) did not panic")
+		}
+	}()
+	NewSkipper(New(43), 0)
+}
+
+// TestSkipDrivesUniformReservoir runs a complete reservoir simulation using
+// skips and verifies every element has equal inclusion probability — the
+// end-to-end property the skip function must deliver.
+func TestSkipDrivesUniformReservoir(t *testing.T) {
+	r := New(44)
+	const k = 5
+	const n = 200
+	const trials = 30000
+	counts := make([]int64, n)
+	for trial := 0; trial < trials; trial++ {
+		reservoir := make([]int, 0, k)
+		sk := NewSkipper(r, k)
+		var next int64
+		for i := int64(0); i < n; i++ {
+			if i < k {
+				reservoir = append(reservoir, int(i))
+				if i == k-1 {
+					next = i + 2 + sk.Skip(i+1)
+				}
+				continue
+			}
+			if i+1 == next {
+				reservoir[Intn(r, k)] = int(i)
+				next = i + 2 + sk.Skip(i+1)
+			}
+		}
+		for _, v := range reservoir {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		// SD ≈ sqrt(trials·p(1−p)) ≈ 27; allow ±6 sigma.
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d included %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func BenchmarkSkipX(b *testing.B) {
+	r := New(1)
+	sk := NewSkipper(r, 1024)
+	sk.ForceX = true
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += sk.Skip(1 << 20)
+	}
+	_ = sink
+}
+
+func BenchmarkSkipZ(b *testing.B) {
+	r := New(1)
+	sk := NewSkipper(r, 1024)
+	sk.ForceZ = true
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += sk.Skip(1 << 20)
+	}
+	_ = sink
+}

@@ -1,0 +1,243 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution
+// function, computed from the complementary error function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p), the p-quantile of the standard normal
+// distribution. This is the z_p ingredient of the paper's equation (1)
+// (there z_p = Φ⁻¹(1-p)).
+//
+// The implementation is Wichura's algorithm AS 241 (PPND16), accurate to
+// about 1e-16 over the full open interval (0, 1). It panics if p is outside
+// (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("randx: NormalQuantile requires 0 < p < 1, got %v", p))
+	}
+	q := p - 0.5
+	if math.Abs(q) <= 0.425 {
+		r := 0.180625 - q*q
+		return q * rationalPoly(r, ppndA[:], ppndB[:])
+	}
+	r := p
+	if q > 0 {
+		r = 1 - p
+	}
+	r = math.Sqrt(-math.Log(r))
+	var x float64
+	if r <= 5 {
+		r -= 1.6
+		x = rationalPoly(r, ppndC[:], ppndD[:])
+	} else {
+		r -= 5
+		x = rationalPoly(r, ppndE[:], ppndF[:])
+	}
+	if q < 0 {
+		return -x
+	}
+	return x
+}
+
+// rationalPoly evaluates num(r)/den(r) with coefficients in ascending order.
+func rationalPoly(r float64, num, den []float64) float64 {
+	var n, d float64
+	for i := len(num) - 1; i >= 0; i-- {
+		n = n*r + num[i]
+	}
+	for i := len(den) - 1; i >= 0; i-- {
+		d = d*r + den[i]
+	}
+	return n / d
+}
+
+// Coefficients for Wichura AS 241 (PPND16), ascending order.
+var (
+	ppndA = [8]float64{
+		3.3871328727963666080e0, 1.3314166789178437745e2,
+		1.9715909503065514427e3, 1.3731693765509461125e4,
+		4.5921953931549871457e4, 6.7265770927008700853e4,
+		3.3430575583588128105e4, 2.5090809287301226727e3,
+	}
+	ppndB = [8]float64{
+		1.0, 4.2313330701600911252e1,
+		6.8718700749205790830e2, 5.3941960214247511077e3,
+		2.1213794301586595867e4, 3.9307895800092710610e4,
+		2.8729085735721942674e4, 5.2264952788528545610e3,
+	}
+	ppndC = [8]float64{
+		1.42343711074968357734e0, 4.63033784615654529590e0,
+		5.76949722146069140550e0, 3.64784832476320460504e0,
+		1.27045825245236838258e0, 2.41780725177450611770e-1,
+		2.27238449892691845833e-2, 7.74545014278341407640e-4,
+	}
+	ppndD = [8]float64{
+		1.0, 2.05319162663775882187e0,
+		1.67638483018380384940e0, 6.89767334985100004550e-1,
+		1.48103976427480074590e-1, 1.51986665636164571966e-2,
+		5.47593808499534494600e-4, 1.05075007164441684324e-9,
+	}
+	ppndE = [8]float64{
+		6.65790464350110377720e0, 5.46378491116411436990e0,
+		1.78482653991729133580e0, 2.96560571828504891230e-1,
+		2.65321895265761230930e-2, 1.24266094738807843860e-3,
+		2.71155556874348757815e-5, 2.01033439929228813265e-7,
+	}
+	ppndF = [8]float64{
+		1.0, 5.99832206555887937690e-1,
+		1.36929880922735805310e-1, 1.48753612908506148525e-2,
+		7.86869131145613259100e-4, 1.84631831751005468180e-5,
+		1.42151175831644588870e-7, 2.04426310338993978564e-15,
+	}
+)
+
+// LogBeta returns ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b).
+func LogBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion (Lentz's algorithm). It is
+// the building block for exact binomial tail probabilities:
+//
+//	P{Bin(n,q) >= k} = I_q(k, n−k+1).
+//
+// Accuracy is roughly 1e-14 for moderate a, b. Arguments must satisfy
+// a > 0, b > 0, 0 <= x <= 1; otherwise RegIncBeta panics.
+func RegIncBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 || x < 0 || x > 1 || math.IsNaN(x) {
+		panic(fmt.Sprintf("randx: RegIncBeta domain error: a=%v b=%v x=%v", a, b, x))
+	}
+	switch x {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	// Prefactor x^a (1−x)^b / (a B(a,b)), computed in log space.
+	logPre := a*math.Log(x) + b*math.Log1p(-x) - math.Log(a) - LogBeta(a, b)
+	pre := math.Exp(logPre)
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x < (a+1)/(a+b+2) {
+		return pre * betaCF(a, b, x)
+	}
+	// I_x(a,b) = 1 − I_{1−x}(b,a); recompute the prefactor for (b, a).
+	logPre = b*math.Log1p(-x) + a*math.Log(x) - math.Log(b) - LogBeta(b, a)
+	return 1 - math.Exp(logPre)*betaCF(b, a, 1-x)
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h
+		}
+	}
+	return h // converged to working precision or exhausted iterations
+}
+
+// BinomialTail returns P{Bin(n, q) > k} exactly (to floating-point
+// precision) via the incomplete beta identity
+// P{X >= k} = I_q(k, n−k+1), so P{X > k} = I_q(k+1, n−k).
+func BinomialTail(n, k int64, q float64) float64 {
+	if k < 0 {
+		return 1
+	}
+	if k >= n {
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	return RegIncBeta(float64(k+1), float64(n-k), q)
+}
+
+// LogBinomialPMF returns ln P{Bin(n, q) = k}.
+func LogBinomialPMF(n, k int64, q float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if q <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lc, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lc - lk - lnk + float64(k)*math.Log(q) + float64(n-k)*math.Log1p(-q)
+}
+
+// LogChoose returns ln C(n, k), with ln C = −Inf outside the support.
+func LogChoose(n, k int64) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}

@@ -1,0 +1,184 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	// Reference values from standard normal tables.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.999, 3.090232306167813},
+		{0.9999, 3.719016485455709},
+		{0.99999, 4.264890793922602},
+		{0.025, -1.959963984540054},
+		{0.1, -1.2815515655446004},
+		{0.8413447460685429, 1.0000000000000002},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-8, 1e-5, 0.001, 0.01, 0.3, 0.5, 0.7, 0.99, 0.99999} {
+		z := NormalQuantile(p)
+		back := NormalCDF(z)
+		if math.Abs(back-p) > 1e-10*math.Max(1, 1/p) && math.Abs(back-p) > 1e-12 {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantilePanicsOutsideDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0(2,3) = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1(2,3) = %v, want 1", got)
+	}
+}
+
+func TestRegIncBetaUniformCase(t *testing.T) {
+	// I_x(1,1) = x exactly (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 − I_{1−x}(b,a).
+	cases := []struct{ a, b, x float64 }{
+		{2, 5, 0.3}, {10, 3, 0.7}, {0.5, 0.5, 0.2}, {50, 60, 0.45},
+	}
+	for _, c := range cases {
+		lhs := RegIncBeta(c.a, c.b, c.x)
+		rhs := 1 - RegIncBeta(c.b, c.a, 1-c.x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry failed at a=%v b=%v x=%v: %v vs %v", c.a, c.b, c.x, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncBetaKnownValue(t *testing.T) {
+	// I_{0.5}(2,2) = 0.5 by symmetry; I_{0.5}(2,3): Beta(2,3) CDF at 0.5 is
+	// 1 - (1-x)^3 (3x+1)/... compute directly: I_x(2,3) = 6x^2 - 8x^3 + 3x^4.
+	x := 0.5
+	want := 6*x*x - 8*x*x*x + 3*x*x*x*x
+	if got := RegIncBeta(2, 3, x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("I_0.5(2,3) = %v, want %v", got, want)
+	}
+}
+
+func TestBinomialTailSmallExact(t *testing.T) {
+	// For n=10, q=0.3 compute P{X > k} by direct summation and compare.
+	n := int64(10)
+	q := 0.3
+	pmf := func(k int64) float64 {
+		return math.Exp(LogBinomialPMF(n, k, q))
+	}
+	for k := int64(-1); k <= n; k++ {
+		var want float64
+		for j := k + 1; j <= n; j++ {
+			want += pmf(j)
+		}
+		got := BinomialTail(n, k, q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("BinomialTail(10,%d,0.3) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTail(10, 10, 0.5); got != 0 {
+		t.Errorf("P{X>n} = %v, want 0", got)
+	}
+	if got := BinomialTail(10, -1, 0.5); got != 1 {
+		t.Errorf("P{X>-1} = %v, want 1", got)
+	}
+	if got := BinomialTail(10, 5, 0); got != 0 {
+		t.Errorf("q=0 tail = %v, want 0", got)
+	}
+	if got := BinomialTail(10, 5, 1); got != 1 {
+		t.Errorf("q=1 tail = %v, want 1", got)
+	}
+}
+
+func TestBinomialTailMonotoneInQ(t *testing.T) {
+	n, k := int64(100000), int64(1000)
+	prev := -1.0
+	for q := 0.001; q <= 0.02; q += 0.001 {
+		cur := BinomialTail(n, k, q)
+		if cur < prev {
+			t.Fatalf("tail not monotone at q=%v: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLogBinomialPMFSumsToOne(t *testing.T) {
+	n := int64(30)
+	q := 0.37
+	var sum float64
+	for k := int64(0); k <= n; k++ {
+		sum += math.Exp(LogBinomialPMF(n, k, q))
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Errorf("binomial pmf sums to %v", sum)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if got := LogChoose(5, 6); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,6) = %v, want -Inf", got)
+	}
+	if got := LogChoose(5, -1); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,-1) = %v, want -Inf", got)
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(2,3) = 1/12.
+	if got := LogBeta(2, 3); math.Abs(got-math.Log(1.0/12)) > 1e-12 {
+		t.Errorf("LogBeta(2,3) = %v, want %v", got, math.Log(1.0/12))
+	}
+	// B(0.5,0.5) = pi.
+	if got := LogBeta(0.5, 0.5); math.Abs(got-math.Log(math.Pi)) > 1e-12 {
+		t.Errorf("LogBeta(0.5,0.5) = %v, want %v", got, math.Log(math.Pi))
+	}
+}

@@ -1,0 +1,272 @@
+// Package stats provides the statistical testing substrate used to audit the
+// sampling algorithms: descriptive statistics, the regularized incomplete
+// gamma function, chi-square goodness-of-fit tests (used to verify that HB,
+// HR and the merge procedures are uniform and that concise sampling is not),
+// and a two-sample Kolmogorov–Smirnov test.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float64 slice.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n−1 denominator)
+	StdDev   float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes descriptive statistics. An empty input yields a zero
+// Summary with N = 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(len(xs)-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x),
+// the CDF of a Gamma(a, 1) variable at x. It uses the series expansion for
+// x < a+1 and the continued fraction otherwise (both from standard numerical
+// practice), accurate to roughly 1e-12.
+func GammaP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		panic(fmt.Sprintf("stats: GammaP domain error: a=%v x=%v", a, x))
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQCF(a, x)
+}
+
+// gammaPSeries evaluates P(a,x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	const maxIter = 1000
+	const eps = 1e-15
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQCF evaluates Q(a,x) = 1 − P(a,x) by the Lentz continued fraction.
+func gammaQCF(a, x float64) float64 {
+	const maxIter = 1000
+	const eps = 1e-15
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareCDF returns P{X <= x} for a chi-square variable with df degrees
+// of freedom.
+func ChiSquareCDF(x float64, df int) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: ChiSquareCDF with df = %d < 1", df))
+	}
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(float64(df)/2, x/2)
+}
+
+// ChiSquareResult reports a goodness-of-fit test.
+type ChiSquareResult struct {
+	Stat   float64 // the X² statistic
+	DF     int     // degrees of freedom
+	PValue float64 // P{X² >= Stat} under the null
+}
+
+// Reject reports whether the null hypothesis is rejected at level alpha.
+func (r ChiSquareResult) Reject(alpha float64) bool { return r.PValue < alpha }
+
+// String renders the result.
+func (r ChiSquareResult) String() string {
+	return fmt.Sprintf("chi2=%.4f df=%d p=%.6g", r.Stat, r.DF, r.PValue)
+}
+
+// ChiSquareGOF tests observed counts against expected counts (same length,
+// expected all positive). ddof extra degrees of freedom are subtracted
+// beyond the usual len−1 (for estimated parameters). It returns an error if
+// the inputs are malformed or if any expected cell is below 1 (too sparse
+// for the asymptotic test).
+func ChiSquareGOF(observed []int64, expected []float64, ddof int) (ChiSquareResult, error) {
+	var r ChiSquareResult
+	if len(observed) != len(expected) {
+		return r, fmt.Errorf("stats: observed has %d cells, expected has %d",
+			len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return r, fmt.Errorf("stats: chi-square needs at least 2 cells, got %d", len(observed))
+	}
+	for i, e := range expected {
+		if e < 1 {
+			return r, fmt.Errorf("stats: expected count %g in cell %d is below 1; merge cells", e, i)
+		}
+		d := float64(observed[i]) - e
+		r.Stat += d * d / e
+	}
+	r.DF = len(observed) - 1 - ddof
+	if r.DF < 1 {
+		return r, fmt.Errorf("stats: non-positive degrees of freedom %d", r.DF)
+	}
+	r.PValue = 1 - ChiSquareCDF(r.Stat, r.DF)
+	return r, nil
+}
+
+// ChiSquareUniform tests observed counts against the uniform distribution
+// over the cells.
+func ChiSquareUniform(observed []int64) (ChiSquareResult, error) {
+	var total int64
+	for _, o := range observed {
+		total += o
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = float64(total) / float64(len(observed))
+	}
+	return ChiSquareGOF(observed, expected, 0)
+}
+
+// KSResult reports a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	Stat   float64 // the D statistic: sup |F1 − F2|
+	PValue float64 // asymptotic p-value
+}
+
+// Reject reports whether the null (same distribution) is rejected at alpha.
+func (r KSResult) Reject(alpha float64) bool { return r.PValue < alpha }
+
+// KSTwoSample computes the two-sample KS statistic and its asymptotic
+// p-value. Inputs are not modified. It returns an error if either sample is
+// empty.
+func KSTwoSample(a, b []float64) (KSResult, error) {
+	var r KSResult
+	if len(a) == 0 || len(b) == 0 {
+		return r, fmt.Errorf("stats: KS test with empty sample (|a|=%d, |b|=%d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := len(as), len(bs)
+	var i, j int
+	var d float64
+	for i < na && j < nb {
+		x := math.Min(as[i], bs[j])
+		for i < na && as[i] <= x {
+			i++
+		}
+		for j < nb && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	r.Stat = d
+	en := math.Sqrt(float64(na) * float64(nb) / float64(na+nb))
+	r.PValue = ksProb((en + 0.12 + 0.11/en) * d)
+	return r, nil
+}
+
+// ksProb evaluates the Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxIter = 100
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= maxIter; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

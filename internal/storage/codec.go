@@ -1,0 +1,199 @@
+// Package storage persists finalized samples: a compact varint-based binary
+// codec for Sample values plus a file-backed store with atomic replace.
+// This is the durable layer of the sample warehouse — per-partition samples
+// are written as they are rolled in and read back on demand for merging
+// (paper Figure 1: samples "are sent to the sample warehouse, where they may
+// be subsequently retrieved and merged in various ways").
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"samplewh/internal/core"
+	"samplewh/internal/histogram"
+)
+
+// ValueCodec serializes sample values of type V. Implementations must be
+// symmetric: Decode(Encode(v)) == v.
+type ValueCodec[V comparable] interface {
+	// Append encodes v onto buf and returns the extended buffer.
+	Append(buf []byte, v V) []byte
+	// Read decodes one value from buf, returning the value and the number
+	// of bytes consumed, or an error on malformed input.
+	Read(buf []byte) (V, int, error)
+}
+
+// Int64Codec encodes int64 values with zig-zag varints.
+type Int64Codec struct{}
+
+// Append implements ValueCodec.
+func (Int64Codec) Append(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// Read implements ValueCodec.
+func (Int64Codec) Read(buf []byte) (int64, int, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("storage: malformed varint value")
+	}
+	return v, n, nil
+}
+
+// StringCodec encodes strings with a uvarint length prefix.
+type StringCodec struct{}
+
+// Append implements ValueCodec.
+func (StringCodec) Append(buf []byte, v string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// Read implements ValueCodec.
+func (StringCodec) Read(buf []byte) (string, int, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("storage: malformed string length")
+	}
+	if uint64(len(buf)-n) < l {
+		return "", 0, fmt.Errorf("storage: truncated string value")
+	}
+	return string(buf[n : n+int(l)]), n + int(l), nil
+}
+
+// Codec format constants.
+const (
+	magic   = 0x53574831 // "SWH1"
+	version = 1
+)
+
+// EncodeSample serializes a sample. The layout is:
+//
+//	magic u32 | version u8 | kind u8 | parentSize varint | q float64 |
+//	footprint varint | valueBytes varint | countBytes varint |
+//	exceedProb float64 | entryCount uvarint | {value, count varint}...
+func EncodeSample[V comparable](s *core.Sample[V], vc ValueCodec[V]) ([]byte, error) {
+	if s == nil || s.Hist == nil {
+		return nil, fmt.Errorf("storage: nil sample")
+	}
+	buf := make([]byte, 0, 64+s.Hist.Distinct()*10)
+	buf = binary.BigEndian.AppendUint32(buf, magic)
+	buf = append(buf, version, byte(s.Kind))
+	buf = binary.AppendVarint(buf, s.ParentSize)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Q))
+	buf = binary.AppendVarint(buf, s.Config.FootprintBytes)
+	buf = binary.AppendVarint(buf, s.Config.SizeModel.ValueBytes)
+	buf = binary.AppendVarint(buf, s.Config.SizeModel.CountBytes)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Config.ExceedProb))
+	buf = binary.AppendUvarint(buf, uint64(s.Hist.Distinct()))
+	var encErr error
+	s.Hist.Each(func(v V, c int64) {
+		buf = vc.Append(buf, v)
+		buf = binary.AppendVarint(buf, c)
+	})
+	return buf, encErr
+}
+
+// DecodeSample parses a sample serialized by EncodeSample.
+func DecodeSample[V comparable](buf []byte, vc ValueCodec[V]) (*core.Sample[V], error) {
+	fail := func(msg string) (*core.Sample[V], error) {
+		return nil, fmt.Errorf("storage: decode: %s", msg)
+	}
+	if len(buf) < 6 {
+		return fail("short header")
+	}
+	if binary.BigEndian.Uint32(buf) != magic {
+		return fail("bad magic")
+	}
+	if buf[4] != version {
+		return fail(fmt.Sprintf("unsupported version %d", buf[4]))
+	}
+	kind := core.Kind(buf[5])
+	pos := 6
+	readVarint := func() (int64, bool) {
+		v, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	readFloat := func() (float64, bool) {
+		if len(buf)-pos < 8 {
+			return 0, false
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(buf[pos:]))
+		pos += 8
+		return f, true
+	}
+	parentSize, ok := readVarint()
+	if !ok {
+		return fail("parent size")
+	}
+	q, ok := readFloat()
+	if !ok {
+		return fail("q")
+	}
+	footprint, ok := readVarint()
+	if !ok {
+		return fail("footprint")
+	}
+	valueBytes, ok := readVarint()
+	if !ok {
+		return fail("value bytes")
+	}
+	countBytes, ok := readVarint()
+	if !ok {
+		return fail("count bytes")
+	}
+	exceedProb, ok := readFloat()
+	if !ok {
+		return fail("exceed prob")
+	}
+	entryCount, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return fail("entry count")
+	}
+	pos += n
+
+	model := histogram.SizeModel{ValueBytes: valueBytes, CountBytes: countBytes}
+	h := histogram.New[V](model)
+	for i := uint64(0); i < entryCount; i++ {
+		v, n, err := vc.Read(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: decode entry %d: %w", i, err)
+		}
+		pos += n
+		c, ok := readVarint()
+		if !ok {
+			return fail(fmt.Sprintf("entry %d count", i))
+		}
+		if c < 1 {
+			return fail(fmt.Sprintf("entry %d has count %d", i, c))
+		}
+		if h.Count(v) > 0 {
+			return fail(fmt.Sprintf("duplicate value in entry %d", i))
+		}
+		h.Insert(v, c)
+	}
+	if pos != len(buf) {
+		return fail(fmt.Sprintf("%d trailing bytes", len(buf)-pos))
+	}
+	s := &core.Sample[V]{
+		Kind:       kind,
+		Hist:       h,
+		ParentSize: parentSize,
+		Q:          q,
+		Config: core.Config{
+			FootprintBytes: footprint,
+			SizeModel:      model,
+			ExceedProb:     exceedProb,
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("storage: decoded sample invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"testing"
+
+	"samplewh/internal/core"
+	"samplewh/internal/randx"
+)
+
+// FuzzDecodeSample asserts that no input — however corrupted — can make the
+// decoder panic; it must either round-trip or return an error. Run with
+// `go test -fuzz FuzzDecodeSample ./internal/storage` to explore; the seed
+// corpus below runs on every plain `go test`.
+func FuzzDecodeSample(f *testing.F) {
+	// Seed with valid encodings of diverse samples.
+	for seed := uint64(1); seed <= 3; seed++ {
+		hr := core.NewHR[int64](core.ConfigForNF(64), randx.New(seed))
+		for v := int64(0); v < int64(seed)*1000; v++ {
+			hr.Feed(v % 300)
+		}
+		s, err := hr.Finalize()
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodeSample(s, Int64Codec{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x57, 0x48, 0x31, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSample(data, Int64Codec{})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must satisfy the sample invariants and
+		// re-encode cleanly.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid sample: %v", err)
+		}
+		if _, err := EncodeSample(s, Int64Codec{}); err != nil {
+			t.Fatalf("accepted sample failed to re-encode: %v", err)
+		}
+	})
+}
+
+// TestDecodeBitFlips flips every byte of a valid encoding one at a time and
+// checks the decoder never panics and never returns an invalid sample.
+func TestDecodeBitFlips(t *testing.T) {
+	hr := core.NewHR[int64](core.ConfigForNF(32), randx.New(9))
+	for v := int64(0); v < 2000; v++ {
+		hr.Feed(v % 100)
+	}
+	s, err := hr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSample(s, Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			got, err := DecodeSample(mut, Int64Codec{})
+			if err != nil {
+				continue
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("byte %d flip %#x: invalid sample accepted: %v", i, flip, err)
+			}
+		}
+	}
+}
+
+// TestDecodeTruncations decodes every prefix of a valid encoding.
+func TestDecodeTruncations(t *testing.T) {
+	hr := core.NewHR[int64](core.ConfigForNF(32), randx.New(10))
+	for v := int64(0); v < 1000; v++ {
+		hr.Feed(v)
+	}
+	s, err := hr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSample(s, Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := DecodeSample(data[:i], Int64Codec{}); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+}

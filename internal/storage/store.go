@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"samplewh/internal/core"
+)
+
+// Store is the persistence contract the sample warehouse programs against.
+// Keys are hierarchical, slash-separated strings such as
+// "orders/price/2006-01-02".
+type Store[V comparable] interface {
+	// Put stores the sample under key, replacing any existing one.
+	Put(key string, s *core.Sample[V]) error
+	// Get returns the sample stored under key, or an error satisfying
+	// IsNotFound if absent. Callers own the returned sample.
+	Get(key string) (*core.Sample[V], error)
+	// Delete removes the sample under key; deleting a missing key is a
+	// no-op.
+	Delete(key string) error
+	// Keys returns all stored keys with the given prefix, sorted.
+	Keys(prefix string) ([]string, error)
+}
+
+// NotFoundError reports a missing key.
+type NotFoundError struct{ Key string }
+
+// Error implements error.
+func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: key %q not found", e.Key) }
+
+// IsNotFound reports whether err indicates a missing key.
+func IsNotFound(err error) bool {
+	_, ok := err.(*NotFoundError)
+	return ok
+}
+
+// MemStore is an in-memory Store, safe for concurrent use. Samples are
+// stored by reference with defensive clones on both Put and Get so callers
+// can freely mutate (merges consume histograms).
+type MemStore[V comparable] struct {
+	mu sync.RWMutex
+	m  map[string]*core.Sample[V]
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore[V comparable]() *MemStore[V] {
+	return &MemStore[V]{m: make(map[string]*core.Sample[V])}
+}
+
+// Put implements Store.
+func (s *MemStore[V]) Put(key string, smp *core.Sample[V]) error {
+	if smp == nil {
+		return fmt.Errorf("storage: Put nil sample at %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = smp.Clone()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore[V]) Get(key string) (*core.Sample[V], error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	smp, ok := s.m[key]
+	if !ok {
+		return nil, &NotFoundError{Key: key}
+	}
+	return smp.Clone(), nil
+}
+
+// Delete implements Store.
+func (s *MemStore[V]) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore[V]) Keys(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FileStore persists samples as one file per key under a root directory,
+// using the binary codec and atomic temp-file + rename replacement so a
+// crash never leaves a half-written sample visible.
+type FileStore[V comparable] struct {
+	root  string
+	codec ValueCodec[V]
+	mu    sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore[V comparable](dir string, codec ValueCodec[V]) (*FileStore[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &FileStore[V]{root: dir, codec: codec}, nil
+}
+
+// suffix appended to every sample file.
+const fileExt = ".sample"
+
+// pathFor maps a key to a file path, escaping path-hostile characters.
+func (s *FileStore[V]) pathFor(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("storage: empty key")
+	}
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '/':
+			b.WriteRune(r)
+		default:
+			fmt.Fprintf(&b, "%%%04x", r)
+		}
+	}
+	clean := b.String()
+	if strings.Contains(clean, "..") || strings.HasPrefix(clean, "/") {
+		return "", fmt.Errorf("storage: invalid key %q", key)
+	}
+	return filepath.Join(s.root, clean+fileExt), nil
+}
+
+// keyFor inverts pathFor for listing.
+func (s *FileStore[V]) keyFor(path string) (string, error) {
+	rel, err := filepath.Rel(s.root, path)
+	if err != nil {
+		return "", err
+	}
+	rel = strings.TrimSuffix(rel, fileExt)
+	var b strings.Builder
+	for i := 0; i < len(rel); {
+		if rel[i] == '%' && i+4 < len(rel) {
+			var r rune
+			if _, err := fmt.Sscanf(rel[i+1:i+5], "%04x", &r); err == nil {
+				b.WriteRune(r)
+				i += 5
+				continue
+			}
+		}
+		b.WriteByte(rel[i])
+		i++
+	}
+	return b.String(), nil
+}
+
+// Put implements Store with atomic replace.
+func (s *FileStore[V]) Put(key string, smp *core.Sample[V]) error {
+	path, err := s.pathFor(key)
+	if err != nil {
+		return err
+	}
+	data, err := EncodeSample(smp, s.codec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("storage: mkdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: rename: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
+	path, err := s.pathFor(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, &NotFoundError{Key: key}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read: %w", err)
+	}
+	return DecodeSample(data, s.codec)
+}
+
+// Delete implements Store.
+func (s *FileStore[V]) Delete(key string) error {
+	path, err := s.pathFor(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete: %w", err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *FileStore[V]) Keys(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, fileExt) {
+			return nil
+		}
+		key, err := s.keyFor(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: list: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+var (
+	_ Store[int64] = (*MemStore[int64])(nil)
+	_ Store[int64] = (*FileStore[int64])(nil)
+)

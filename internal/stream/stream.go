@@ -1,0 +1,259 @@
+// Package stream implements the data-flow side of the sample warehouse
+// (paper §2 and Figure 1): splitting a data set across parallel samplers
+// ("the incoming stream could be split over a number of machines"), slicing
+// a stream temporally (one partition per day), and partitioning on-the-fly
+// based on the sampled-to-seen ratio ("we wait until the ratio of sampled
+// data to observed parent data hits the specified lower bound, at which
+// point we finalize the current data partition ... and begin a new one").
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"samplewh/internal/core"
+	"samplewh/internal/workload"
+)
+
+// SamplerFactory builds the sampler for partition index i covering
+// expectedN elements.
+type SamplerFactory func(i int, expectedN int64) core.Sampler[int64]
+
+// ParallelResult pairs a partition's finalized sample with its index.
+type ParallelResult struct {
+	Index  int
+	Sample *core.Sample[int64]
+	Err    error
+}
+
+// SampleParallel samples every generator concurrently — one sampler per
+// partition, at most parallelism goroutines in flight (0 selects
+// GOMAXPROCS) — and returns the finalized samples in partition order. This
+// simulates the paper's cluster: each partition of the divided batch or
+// split stream is sampled by an independent process.
+func SampleParallel(gens []*workload.Generator, factory SamplerFactory, parallelism int) ([]*core.Sample[int64], error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("stream: no generators")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	results := make([]ParallelResult, len(gens))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, g := range gens {
+		wg.Add(1)
+		go func(i int, g *workload.Generator) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			smp := factory(i, g.Len())
+			for {
+				v, ok := g.Next()
+				if !ok {
+					break
+				}
+				smp.Feed(v)
+			}
+			s, err := smp.Finalize()
+			results[i] = ParallelResult{Index: i, Sample: s, Err: err}
+		}(i, g)
+	}
+	wg.Wait()
+	out := make([]*core.Sample[int64], len(gens))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("stream: partition %d: %w", i, r.Err)
+		}
+		out[i] = r.Sample
+	}
+	return out, nil
+}
+
+// Splitter distributes one incoming stream of values round-robin across w
+// parallel samplers — the "split the stream over a number of machines"
+// scenario. Because the sub-streams are disjoint, each sampler's output is a
+// uniform sample of its sub-stream and the samples can be merged into a
+// uniform sample of everything.
+type Splitter struct {
+	samplers []core.Sampler[int64]
+	next     int
+	fed      int64
+}
+
+// NewSplitter builds a splitter over w samplers created by factory.
+func NewSplitter(w int, factory SamplerFactory) *Splitter {
+	if w < 1 {
+		panic(fmt.Sprintf("stream: NewSplitter with w = %d < 1", w))
+	}
+	sp := &Splitter{samplers: make([]core.Sampler[int64], w)}
+	for i := range sp.samplers {
+		sp.samplers[i] = factory(i, 0)
+	}
+	return sp
+}
+
+// Feed routes one value to the next sampler in round-robin order.
+func (sp *Splitter) Feed(v int64) {
+	sp.samplers[sp.next].Feed(v)
+	sp.next = (sp.next + 1) % len(sp.samplers)
+	sp.fed++
+}
+
+// Fed returns the number of values routed so far.
+func (sp *Splitter) Fed() int64 { return sp.fed }
+
+// Finalize finalizes every sub-stream sampler and returns the samples.
+func (sp *Splitter) Finalize() ([]*core.Sample[int64], error) {
+	out := make([]*core.Sample[int64], len(sp.samplers))
+	for i, s := range sp.samplers {
+		smp, err := s.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("stream: splitter lane %d: %w", i, err)
+		}
+		out[i] = smp
+	}
+	return out, nil
+}
+
+// TemporalPartitioner cuts a stream into fixed-length partitions (e.g. one
+// per day) and samples each independently, so that daily samples can later
+// be combined into weekly, monthly or yearly samples (paper §2).
+type TemporalPartitioner struct {
+	every   int64
+	factory SamplerFactory
+	cur     core.Sampler[int64]
+	curIdx  int
+	inCur   int64
+	done    []*core.Sample[int64]
+}
+
+// NewTemporalPartitioner cuts a new partition after every `every` values.
+func NewTemporalPartitioner(every int64, factory SamplerFactory) *TemporalPartitioner {
+	if every < 1 {
+		panic(fmt.Sprintf("stream: NewTemporalPartitioner with every = %d < 1", every))
+	}
+	tp := &TemporalPartitioner{every: every, factory: factory}
+	tp.cur = factory(0, every)
+	return tp
+}
+
+// Feed processes one value, cutting a partition boundary when due.
+func (tp *TemporalPartitioner) Feed(v int64) error {
+	tp.cur.Feed(v)
+	tp.inCur++
+	if tp.inCur >= tp.every {
+		return tp.cut()
+	}
+	return nil
+}
+
+// cut finalizes the current partition and opens the next.
+func (tp *TemporalPartitioner) cut() error {
+	s, err := tp.cur.Finalize()
+	if err != nil {
+		return fmt.Errorf("stream: temporal cut: %w", err)
+	}
+	tp.done = append(tp.done, s)
+	tp.curIdx++
+	tp.cur = tp.factory(tp.curIdx, tp.every)
+	tp.inCur = 0
+	return nil
+}
+
+// Finalize closes the in-progress partition (if non-empty) and returns all
+// partition samples in temporal order.
+func (tp *TemporalPartitioner) Finalize() ([]*core.Sample[int64], error) {
+	if tp.inCur > 0 {
+		if err := tp.cut(); err != nil {
+			return nil, err
+		}
+	}
+	return tp.done, nil
+}
+
+// RatioPartitioner implements the paper's on-the-fly partitioning rule for
+// fluctuating arrival rates: maintain a bounded-footprint sample of the
+// current partition, and when the ratio of sampled data to observed parent
+// data falls to the specified lower bound, finalize the partition (and its
+// sample) and begin a new one. This keeps every partition's sampling
+// fraction at or above MinFraction while the footprint stays bounded.
+type RatioPartitioner struct {
+	minFraction float64
+	minSize     int64 // grace period before the ratio is enforced
+	factory     SamplerFactory
+	cur         interface {
+		core.Sampler[int64]
+		SampleSize() int64
+	}
+	curIdx int
+	done   []*core.Sample[int64]
+}
+
+// NewRatioPartitioner cuts a partition whenever sampled/seen would drop
+// below minFraction (checked once at least minSize elements have been
+// seen; minSize <= 0 selects 1). The factory must build samplers exposing
+// SampleSize (HB, HR, SB and friends all do).
+func NewRatioPartitioner(minFraction float64, minSize int64, factory SamplerFactory) (*RatioPartitioner, error) {
+	if minFraction <= 0 || minFraction > 1 {
+		return nil, fmt.Errorf("stream: min fraction %v outside (0,1]", minFraction)
+	}
+	if minSize <= 0 {
+		minSize = 1
+	}
+	rp := &RatioPartitioner{minFraction: minFraction, minSize: minSize, factory: factory}
+	if err := rp.open(); err != nil {
+		return nil, err
+	}
+	return rp, nil
+}
+
+// open starts the next partition's sampler.
+func (rp *RatioPartitioner) open() error {
+	s := rp.factory(rp.curIdx, 0)
+	sized, ok := s.(interface {
+		core.Sampler[int64]
+		SampleSize() int64
+	})
+	if !ok {
+		return fmt.Errorf("stream: sampler %T does not expose SampleSize", s)
+	}
+	rp.cur = sized
+	return nil
+}
+
+// Feed processes one value; it may finalize the current partition.
+func (rp *RatioPartitioner) Feed(v int64) error {
+	rp.cur.Feed(v)
+	seen := rp.cur.Seen()
+	if seen < rp.minSize {
+		return nil
+	}
+	if float64(rp.cur.SampleSize()) < rp.minFraction*float64(seen) {
+		s, err := rp.cur.Finalize()
+		if err != nil {
+			return fmt.Errorf("stream: ratio cut: %w", err)
+		}
+		rp.done = append(rp.done, s)
+		rp.curIdx++
+		return rp.open()
+	}
+	return nil
+}
+
+// Finalize closes the in-progress partition (if non-empty) and returns all
+// partition samples in order.
+func (rp *RatioPartitioner) Finalize() ([]*core.Sample[int64], error) {
+	if rp.cur.Seen() > 0 {
+		s, err := rp.cur.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		rp.done = append(rp.done, s)
+	}
+	return rp.done, nil
+}
+
+// Partitions returns the number of completed partitions so far.
+func (rp *RatioPartitioner) Partitions() int { return len(rp.done) }

@@ -1,0 +1,395 @@
+// Package warehouse implements the sample data warehouse of the paper's
+// Figure 1: a catalog of data sets, each divided into partitions D_{i,j}
+// (stream i, temporal slice j, or any other disjoint decomposition), with a
+// compact uniform sample S_{i,j} stored per partition. Partition samples are
+// rolled in as new data arrives and rolled out as old data expires, and the
+// warehouse can produce, on demand, a statistically uniform sample of the
+// union of any subset K of partitions — the paper's S_K.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"samplewh/internal/core"
+	"samplewh/internal/randx"
+	"samplewh/internal/storage"
+)
+
+// Algorithm selects the sampling/merge family for a data set.
+type Algorithm uint8
+
+const (
+	// AlgHB: Algorithm HB samples and HBMerge merging (fast merges; needs
+	// expected partition sizes).
+	AlgHB Algorithm = iota + 1
+	// AlgHR: Algorithm HR samples and HRMerge merging (stable sample
+	// sizes; no advance size knowledge needed).
+	AlgHR
+	// AlgSB: fixed-rate stratified Bernoulli (the unbounded-footprint
+	// baseline).
+	AlgSB
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgHB:
+		return "HB"
+	case AlgHR:
+		return "HR"
+	case AlgSB:
+		return "SB"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// DatasetConfig describes one data set's sampling regime.
+type DatasetConfig struct {
+	// Algorithm selects the sampler/merge family. Zero selects AlgHR, the
+	// most robust default (no advance knowledge of partition sizes).
+	Algorithm Algorithm
+	// Core carries the footprint bound and statistical parameters.
+	Core core.Config
+	// SBRate is the fixed Bernoulli rate for AlgSB data sets.
+	SBRate float64
+}
+
+// normalized fills defaults.
+func (c DatasetConfig) normalized() (DatasetConfig, error) {
+	if c.Algorithm == 0 {
+		c.Algorithm = AlgHR
+	}
+	switch c.Algorithm {
+	case AlgHB, AlgHR:
+	case AlgSB:
+		if c.SBRate <= 0 || c.SBRate > 1 {
+			return c, fmt.Errorf("warehouse: SB rate %v outside (0,1]", c.SBRate)
+		}
+	default:
+		return c, fmt.Errorf("warehouse: invalid algorithm %v", c.Algorithm)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// PartitionInfo summarizes one stored partition sample.
+type PartitionInfo struct {
+	ID         string
+	Kind       core.Kind
+	SampleSize int64
+	ParentSize int64
+	Footprint  int64
+}
+
+// Warehouse is the sample warehouse, generic over the sampled value type.
+// It is safe for concurrent use. The paper's evaluation uses int64 values;
+// any comparable value type with a Store implementation works.
+type Warehouse[V comparable] struct {
+	mu    sync.RWMutex
+	store storage.Store[V]
+	rng   *randx.RNG
+	sets  map[string]*dataset
+}
+
+type dataset struct {
+	cfg        DatasetConfig
+	partitions []string // ordered by roll-in time
+}
+
+// New creates a warehouse over the given store, seeding all merge
+// randomness from seed.
+func New[V comparable](store storage.Store[V], seed uint64) *Warehouse[V] {
+	return &Warehouse[V]{
+		store: store,
+		rng:   randx.New(seed),
+		sets:  make(map[string]*dataset),
+	}
+}
+
+// CreateDataset registers a data set. It errors if the name is empty,
+// contains '/', or already exists.
+func (w *Warehouse[V]) CreateDataset(name string, cfg DatasetConfig) error {
+	if name == "" || strings.ContainsAny(name, "/") {
+		return fmt.Errorf("warehouse: invalid data set name %q", name)
+	}
+	norm, err := cfg.normalized()
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.sets[name]; ok {
+		return fmt.Errorf("warehouse: data set %q already exists", name)
+	}
+	w.sets[name] = &dataset{cfg: norm}
+	return nil
+}
+
+// Datasets returns the registered data set names, sorted.
+func (w *Warehouse[V]) Datasets() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	names := make([]string, 0, len(w.sets))
+	for n := range w.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Config returns a data set's configuration.
+func (w *Warehouse[V]) Config(dataset string) (DatasetConfig, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return DatasetConfig{}, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	return ds.cfg, nil
+}
+
+// NewSampler returns a fresh sampler for one partition of the data set,
+// configured per the data set's algorithm. expectedN is required for AlgHB
+// (ignored otherwise). The caller feeds the partition's values through it
+// and passes the finalized sample to RollIn.
+func (w *Warehouse[V]) NewSampler(dataset string, expectedN int64) (core.Sampler[V], error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	src := w.rng.Split()
+	switch ds.cfg.Algorithm {
+	case AlgHB:
+		if expectedN < 1 {
+			return nil, fmt.Errorf("warehouse: AlgHB requires expectedN >= 1, got %d", expectedN)
+		}
+		return core.NewHB[V](ds.cfg.Core, expectedN, src), nil
+	case AlgHR:
+		return core.NewHR[V](ds.cfg.Core, src), nil
+	case AlgSB:
+		return core.NewSB[V](ds.cfg.Core, ds.cfg.SBRate, src), nil
+	default:
+		return nil, fmt.Errorf("warehouse: invalid algorithm %v", ds.cfg.Algorithm)
+	}
+}
+
+// RollIn stores the finalized sample of a new partition. Partition IDs must
+// be unique within the data set; they are kept in roll-in order for
+// windowing.
+func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) error {
+	if partitionID == "" || strings.ContainsAny(partitionID, "/") {
+		return fmt.Errorf("warehouse: invalid partition id %q", partitionID)
+	}
+	if s == nil {
+		return fmt.Errorf("warehouse: nil sample")
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("warehouse: sample invalid: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	for _, p := range ds.partitions {
+		if p == partitionID {
+			return fmt.Errorf("warehouse: partition %q already rolled in", partitionID)
+		}
+	}
+	if s.Config.FootprintBytes != ds.cfg.Core.FootprintBytes ||
+		s.Config.SizeModel != ds.cfg.Core.SizeModel {
+		return fmt.Errorf("warehouse: sample config %+v does not match data set config %+v",
+			s.Config, ds.cfg.Core)
+	}
+	if err := w.store.Put(w.key(dataset, partitionID), s); err != nil {
+		return err
+	}
+	ds.partitions = append(ds.partitions, partitionID)
+	return nil
+}
+
+// Attach registers a partition whose sample already exists in the store —
+// used when reopening a warehouse over a persistent store. The stored
+// sample is validated against the data set's configuration.
+func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
+	if partitionID == "" || strings.ContainsAny(partitionID, "/") {
+		return fmt.Errorf("warehouse: invalid partition id %q", partitionID)
+	}
+	s, err := w.store.Get(w.key(dataset, partitionID))
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("warehouse: stored sample invalid: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	for _, p := range ds.partitions {
+		if p == partitionID {
+			return fmt.Errorf("warehouse: partition %q already attached", partitionID)
+		}
+	}
+	if s.Config.FootprintBytes != ds.cfg.Core.FootprintBytes ||
+		s.Config.SizeModel != ds.cfg.Core.SizeModel {
+		return fmt.Errorf("warehouse: stored sample config %+v does not match data set config %+v",
+			s.Config, ds.cfg.Core)
+	}
+	ds.partitions = append(ds.partitions, partitionID)
+	return nil
+}
+
+// RollOut removes a partition's sample (e.g. when the corresponding data
+// expires from the full-scale warehouse).
+func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	idx := -1
+	for i, p := range ds.partitions {
+		if p == partitionID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("warehouse: partition %q not found in %q", partitionID, dataset)
+	}
+	if err := w.store.Delete(w.key(dataset, partitionID)); err != nil {
+		return err
+	}
+	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
+	return nil
+}
+
+// Partitions returns the partition IDs of a data set in roll-in order.
+func (w *Warehouse[V]) Partitions(dataset string) ([]string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	ds, ok := w.sets[dataset]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	return append([]string(nil), ds.partitions...), nil
+}
+
+// Info returns metadata for one partition's sample.
+func (w *Warehouse[V]) Info(dataset, partitionID string) (PartitionInfo, error) {
+	s, err := w.PartitionSample(dataset, partitionID)
+	if err != nil {
+		return PartitionInfo{}, err
+	}
+	return PartitionInfo{
+		ID:         partitionID,
+		Kind:       s.Kind,
+		SampleSize: s.Size(),
+		ParentSize: s.ParentSize,
+		Footprint:  s.Footprint(),
+	}, nil
+}
+
+// PartitionSample returns a copy of one partition's stored sample.
+func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sample[V], error) {
+	w.mu.RLock()
+	_, ok := w.sets[dataset]
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	return w.store.Get(w.key(dataset, partitionID))
+}
+
+// MergedSample produces a uniform sample of the union of the named
+// partitions — the paper's S_K for K ⊆ {1..k}. Passing no IDs merges all
+// partitions of the data set (a sample of the entire data set). The stored
+// per-partition samples are not consumed.
+func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*core.Sample[V], error) {
+	w.mu.RLock()
+	ds, ok := w.sets[dataset]
+	var ids []string
+	if ok {
+		if len(partitionIDs) == 0 {
+			ids = append([]string(nil), ds.partitions...)
+		} else {
+			ids = append([]string(nil), partitionIDs...)
+		}
+	}
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("warehouse: data set %q has no partitions", dataset)
+	}
+	seen := make(map[string]bool, len(ids))
+	samples := make([]*core.Sample[V], 0, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("warehouse: duplicate partition %q in merge set", id)
+		}
+		seen[id] = true
+		s, err := w.store.Get(w.key(dataset, id))
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
+	}
+
+	w.mu.Lock()
+	src := w.rng.Split()
+	w.mu.Unlock()
+
+	switch ds.cfg.Algorithm {
+	case AlgSB:
+		return core.MergeTree(samples, core.SBMerge[V], src)
+	case AlgHB:
+		return core.MergeTree(samples, core.HBMerge[V], src)
+	default:
+		return core.MergeTree(samples, core.HRMerge[V], src)
+	}
+}
+
+// Window produces a uniform sample of the union of the most recent n
+// partitions (by roll-in order) — the paper's moving-window approximation of
+// stream sampling ("as new daily samples are rolled in and old daily samples
+// are rolled out, the system approximates stream sampling algorithms").
+func (w *Warehouse[V]) Window(dataset string, n int) (*core.Sample[V], error) {
+	w.mu.RLock()
+	ds, ok := w.sets[dataset]
+	var ids []string
+	if ok {
+		ps := ds.partitions
+		if n < len(ps) {
+			ps = ps[len(ps)-n:]
+		}
+		ids = append([]string(nil), ps...)
+	}
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("warehouse: window size %d < 1", n)
+	}
+	return w.MergedSample(dataset, ids...)
+}
+
+// key maps (dataset, partition) to a store key.
+func (w *Warehouse[V]) key(dataset, partitionID string) string {
+	return dataset + "/" + partitionID
+}

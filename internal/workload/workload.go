@@ -1,0 +1,271 @@
+// Package workload generates the synthetic data sets used in the paper's
+// evaluation (§5):
+//
+//   - Unique: a random permutation of the integers 1..N (every value
+//     distinct);
+//   - Uniform: integers uniformly distributed over 1..1,000,000;
+//   - Zipfian: integers over 1..4000 following a Zipf distribution.
+//
+// All generators are counter-based: the value at stream position i is a pure
+// function of (Spec, i). That makes partitioning trivial and exact — a
+// partition is just an index range of the global stream — and lets parallel
+// samplers work on disjoint ranges without coordination, mirroring how the
+// paper divides a batch or splits a stream across CPUs.
+package workload
+
+import (
+	"fmt"
+
+	"samplewh/internal/randx"
+)
+
+// Distribution selects one of the paper's three data-set shapes.
+type Distribution uint8
+
+const (
+	// Unique: a pseudo-random permutation of 1..N; every value occurs once.
+	Unique Distribution = iota + 1
+	// Uniform: i.i.d. uniform over 1..UniformMax (paper: 1..1,000,000).
+	Uniform
+	// Zipfian: i.i.d. Zipf over 1..ZipfValues (paper: 1..4000).
+	Zipfian
+)
+
+// String returns the distribution name as used in the paper's figures.
+func (d Distribution) String() string {
+	switch d {
+	case Unique:
+		return "unique"
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("Distribution(%d)", uint8(d))
+	}
+}
+
+// Default parameters from the paper's experimental setup.
+const (
+	DefaultUniformMax = 1000000
+	DefaultZipfValues = 4000
+	DefaultZipfSkew   = 1.0
+)
+
+// Spec fully describes a synthetic data set. The zero values of the
+// distribution parameters select the paper's defaults.
+type Spec struct {
+	Dist       Distribution
+	N          int64  // total number of data elements
+	Seed       uint64 // generator seed; same seed ⇒ same data set
+	UniformMax int64
+	ZipfValues int64
+	ZipfSkew   float64
+}
+
+// normalized fills defaults and validates.
+func (s Spec) normalized() Spec {
+	if s.UniformMax == 0 {
+		s.UniformMax = DefaultUniformMax
+	}
+	if s.ZipfValues == 0 {
+		s.ZipfValues = DefaultZipfValues
+	}
+	if s.ZipfSkew == 0 {
+		s.ZipfSkew = DefaultZipfSkew
+	}
+	if s.N < 0 {
+		panic(fmt.Sprintf("workload: Spec.N = %d < 0", s.N))
+	}
+	switch s.Dist {
+	case Unique, Uniform, Zipfian:
+	default:
+		panic(fmt.Sprintf("workload: invalid distribution %v", s.Dist))
+	}
+	return s
+}
+
+// Generator produces the values of one index range [lo, hi) of a data set.
+// It is not safe for concurrent use; create one generator per goroutine
+// (they may cover disjoint ranges of the same Spec).
+type Generator struct {
+	spec Spec
+	lo   int64
+	hi   int64
+	pos  int64
+	perm *feistel    // Unique only
+	zipf *randx.Zipf // Zipfian only
+}
+
+// New returns a generator over the whole data set, positions [0, N).
+func New(spec Spec) *Generator {
+	return NewRange(spec, 0, spec.N)
+}
+
+// NewRange returns a generator over positions [lo, hi) of the data set.
+// It panics if the range is out of bounds.
+func NewRange(spec Spec, lo, hi int64) *Generator {
+	spec = spec.normalized()
+	if lo < 0 || hi > spec.N || lo > hi {
+		panic(fmt.Sprintf("workload: range [%d,%d) outside [0,%d)", lo, hi, spec.N))
+	}
+	g := &Generator{spec: spec, lo: lo, hi: hi, pos: lo}
+	switch spec.Dist {
+	case Unique:
+		g.perm = newFeistel(uint64(spec.N), spec.Seed)
+	case Zipfian:
+		g.zipf = randx.NewZipf(spec.ZipfValues, spec.ZipfSkew)
+	}
+	return g
+}
+
+// Spec returns the generator's (normalized) spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Len returns the number of values the generator covers.
+func (g *Generator) Len() int64 { return g.hi - g.lo }
+
+// Remaining returns the number of values not yet produced.
+func (g *Generator) Remaining() int64 { return g.hi - g.pos }
+
+// Next returns the next value, or ok=false when the range is exhausted.
+func (g *Generator) Next() (v int64, ok bool) {
+	if g.pos >= g.hi {
+		return 0, false
+	}
+	v = g.at(g.pos)
+	g.pos++
+	return v, true
+}
+
+// Reset rewinds the generator to the start of its range.
+func (g *Generator) Reset() { g.pos = g.lo }
+
+// Batch appends up to max values to dst and returns it; fewer are returned
+// at the end of the range.
+func (g *Generator) Batch(dst []int64, max int) []int64 {
+	for i := 0; i < max && g.pos < g.hi; i++ {
+		dst = append(dst, g.at(g.pos))
+		g.pos++
+	}
+	return dst
+}
+
+// at evaluates the data set value at global position i (pure function).
+func (g *Generator) at(i int64) int64 {
+	switch g.spec.Dist {
+	case Unique:
+		return int64(g.perm.apply(uint64(i))) + 1
+	case Uniform:
+		return 1 + int64(hashPos(g.spec.Seed, i)%uint64(g.spec.UniformMax))
+	case Zipfian:
+		u := float64(hashPos(g.spec.Seed, i)>>11) / (1 << 53)
+		return g.zipf.Quantile(u)
+	default:
+		panic("workload: invalid distribution")
+	}
+}
+
+// ValueAt returns the data-set value at position i without a generator.
+// For hot loops prefer a Generator (it caches the Zipf CDF and the Feistel
+// keys).
+func ValueAt(spec Spec, i int64) int64 {
+	g := NewRange(spec, 0, spec.N)
+	if i < 0 || i >= spec.N {
+		panic(fmt.Sprintf("workload: position %d outside [0,%d)", i, spec.N))
+	}
+	return g.at(i)
+}
+
+// hashPos mixes (seed, position) into a 64-bit value: the counter-based RNG
+// behind the Uniform and Zipfian streams.
+func hashPos(seed uint64, i int64) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	x = mix(x + uint64(i)*0xbf58476d1ce4e5b9)
+	return mix(x ^ seed<<1)
+}
+
+// mix is the SplitMix64 finalizer.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Ranges splits [0, n) into parts contiguous index ranges whose sizes differ
+// by at most one — the batch-division step of the paper's experiments
+// ("partitions created by dividing the batch").
+func Ranges(n int64, parts int) [][2]int64 {
+	if parts < 1 {
+		panic(fmt.Sprintf("workload: Ranges with parts = %d < 1", parts))
+	}
+	out := make([][2]int64, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := n * int64(i) / int64(parts)
+		hi := n * int64(i+1) / int64(parts)
+		out = append(out, [2]int64{lo, hi})
+	}
+	return out
+}
+
+// Partitions returns one generator per contiguous partition of the data set.
+func Partitions(spec Spec, parts int) []*Generator {
+	spec = spec.normalized()
+	rs := Ranges(spec.N, parts)
+	gens := make([]*Generator, len(rs))
+	for i, r := range rs {
+		gens[i] = NewRange(spec, r[0], r[1])
+	}
+	return gens
+}
+
+// feistel is a format-preserving pseudo-random permutation of [0, n) built
+// from a 4-round balanced Feistel network with cycle-walking. It lets the
+// Unique data set produce each of 1..N exactly once, in pseudo-random order,
+// with O(1) memory — essential for the paper's 2^26-element populations.
+type feistel struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint64
+}
+
+func newFeistel(n, seed uint64) *feistel {
+	if n == 0 {
+		return &feistel{n: 0, halfBits: 1, halfMask: 1}
+	}
+	bits := uint(1)
+	for uint64(1)<<(2*bits) < n {
+		bits++
+	}
+	f := &feistel{n: n, halfBits: bits, halfMask: uint64(1)<<bits - 1}
+	for i := range f.keys {
+		seed = mix(seed + uint64(i) + 1)
+		f.keys[i] = seed
+	}
+	return f
+}
+
+// apply maps i ∈ [0, n) to a unique position in [0, n).
+func (f *feistel) apply(i uint64) uint64 {
+	if i >= f.n {
+		panic(fmt.Sprintf("workload: feistel input %d >= n = %d", i, f.n))
+	}
+	x := i
+	for {
+		x = f.encrypt(x)
+		if x < f.n {
+			return x // cycle-walking: re-encrypt until inside the domain
+		}
+	}
+}
+
+func (f *feistel) encrypt(x uint64) uint64 {
+	l := x >> f.halfBits
+	r := x & f.halfMask
+	for _, k := range f.keys {
+		l, r = r, l^(mix(r+k)&f.halfMask)
+	}
+	return l<<f.halfBits | r
+}

@@ -1,0 +1,403 @@
+// Package samplewh is a warehouse for sampled data, implementing the
+// algorithms of Brown & Haas, "Techniques for Warehousing of Sample Data"
+// (ICDE 2006).
+//
+// A full-scale data warehouse holds many data sets — bags of values — whose
+// contents arrive in batches or streams and are divided into disjoint
+// partitions. This library maintains, for every partition, a compact,
+// bounded-footprint, statistically uniform random sample, and can merge
+// per-partition samples into a uniform sample of any union of partitions:
+//
+//	cfg := samplewh.ConfigForNF(8192)         // footprint for 8192 values
+//	s := samplewh.NewHRSampler[int64](cfg, 1) // seed 1
+//	for _, v := range values {
+//	    s.Feed(v)
+//	}
+//	sample, _ := s.Finalize()
+//
+// Two hybrid samplers are provided. Algorithm HB (NewHBSampler) starts with
+// an exact compact histogram, degrades to Bernoulli sampling at the rate
+// q(N, p, n_F) of the paper's equation (1), and falls back to reservoir
+// sampling only in the unlikely event the Bernoulli sample overflows; its
+// samples merge very cheaply. Algorithm HR (NewHRSampler) degrades directly
+// to reservoir sampling; it needs no advance knowledge of the partition size
+// and always delivers exactly n_F elements once the bound is hit, at the
+// cost of a hypergeometric-split merge (HRMerge, Theorem 1 of the paper).
+//
+// The Warehouse type organizes partition samples per data set on top of a
+// pluggable Store (in-memory or file-backed), supporting roll-in/roll-out
+// and on-demand merged samples of arbitrary partition subsets, and the
+// estimate API answers approximate COUNT/SUM/AVG/quantile/distinct queries
+// with confidence intervals from any uniform sample.
+//
+// All randomness is deterministic given a seed; parallel samplers split
+// independent random streams.
+package samplewh
+
+import (
+	"samplewh/internal/core"
+	"samplewh/internal/estimate"
+	"samplewh/internal/fullwh"
+	"samplewh/internal/histogram"
+	"samplewh/internal/randx"
+	"samplewh/internal/storage"
+	"samplewh/internal/stream"
+	"samplewh/internal/warehouse"
+	"samplewh/internal/workload"
+)
+
+// RNG is the deterministic splittable random number generator used by all
+// samplers (PCG-XSL-RR 128/64).
+type RNG = randx.RNG
+
+// NewRNG returns a deterministically seeded generator.
+func NewRNG(seed uint64) *RNG { return randx.New(seed) }
+
+// Source is the randomness interface consumed by samplers and merges.
+type Source = randx.Source
+
+// Config carries the footprint bound F, the compact-representation size
+// model, and the exceedance probability p of the paper's equation (1).
+type Config = core.Config
+
+// ConfigForNF builds a Config admitting nf sample values under the default
+// size model (8-byte values, 4-byte counts), mirroring the paper's
+// n_F = 8192 setup.
+func ConfigForNF(nf int64) Config { return core.ConfigForNF(nf) }
+
+// SizeModel prices the compact (value, count) representation.
+type SizeModel = histogram.SizeModel
+
+// Histogram is the compact multiset representation samples are stored in.
+type Histogram[V comparable] = histogram.Histogram[V]
+
+// Kind records the statistical nature of a finalized sample.
+type Kind = core.Kind
+
+// Sample kinds.
+const (
+	Exhaustive    = core.Exhaustive
+	BernoulliKind = core.BernoulliKind
+	ReservoirKind = core.ReservoirKind
+)
+
+// Sample is a finalized, mergeable, self-describing partition sample.
+type Sample[V comparable] = core.Sample[V]
+
+// Sampler is the shared contract of all partition samplers.
+type Sampler[V comparable] = core.Sampler[V]
+
+// HB is the paper's Algorithm HB (hybrid Bernoulli) sampler.
+type HB[V comparable] = core.HB[V]
+
+// HR is the paper's Algorithm HR (hybrid reservoir) sampler.
+type HR[V comparable] = core.HR[V]
+
+// SB is the fixed-rate stratified Bernoulli baseline (Algorithm SB).
+type SB[V comparable] = core.SB[V]
+
+// ConciseSampler is the Gibbons–Matias concise sampling baseline; the paper
+// proves it is not uniform (§3.3).
+type ConciseSampler[V comparable] = core.ConciseSampler[V]
+
+// CountingSampler is the deletion-capable counting-sample baseline.
+type CountingSampler[V comparable] = core.CountingSampler[V]
+
+// NewHBSampler returns an Algorithm HB sampler for a partition of expected
+// size expectedN, seeded deterministically.
+func NewHBSampler[V comparable](cfg Config, expectedN int64, seed uint64) *HB[V] {
+	return core.NewHB[V](cfg, expectedN, randx.New(seed))
+}
+
+// NewHRSampler returns an Algorithm HR sampler, seeded deterministically.
+func NewHRSampler[V comparable](cfg Config, seed uint64) *HR[V] {
+	return core.NewHR[V](cfg, randx.New(seed))
+}
+
+// NewSBSampler returns a fixed-rate Bern(q) sampler, seeded
+// deterministically.
+func NewSBSampler[V comparable](cfg Config, q float64, seed uint64) *SB[V] {
+	return core.NewSB[V](cfg, q, randx.New(seed))
+}
+
+// NewConciseSampler returns a concise sampler (purgeFactor 0 selects the
+// default 0.8), seeded deterministically.
+func NewConciseSampler[V comparable](cfg Config, purgeFactor float64, seed uint64) *ConciseSampler[V] {
+	return core.NewConcise[V](cfg, purgeFactor, randx.New(seed))
+}
+
+// HBState is the serializable checkpoint of an in-progress HB sampler.
+type HBState[V comparable] = core.HBState[V]
+
+// HRState is the serializable checkpoint of an in-progress HR sampler.
+type HRState[V comparable] = core.HRState[V]
+
+// ResumeHB reconstructs an Algorithm HB sampler from a checkpoint captured
+// with (*HB).Checkpoint; the resumed sampler continues the exact random
+// sequence of the original.
+func ResumeHB[V comparable](st HBState[V]) (*HB[V], error) {
+	return core.ResumeHBFromState(st)
+}
+
+// ResumeHR reconstructs an Algorithm HR sampler from a checkpoint captured
+// with (*HR).Checkpoint.
+func ResumeHR[V comparable](st HRState[V]) (*HR[V], error) {
+	return core.ResumeHRFromState(st)
+}
+
+// QApprox is the paper's equation (1): the Bernoulli rate for Algorithm HB.
+func QApprox(n int64, p float64, nf int64) float64 { return core.QApprox(n, p, nf) }
+
+// QExact solves for the exact rate by bisection (ground truth for QApprox).
+func QExact(n int64, p float64, nf int64, tol float64) float64 {
+	return core.QExact(n, p, nf, tol)
+}
+
+// Merge combines two samples of disjoint partitions into a uniform sample
+// of the union, dispatching on the samples' kinds. Inputs are consumed.
+func Merge[V comparable](s1, s2 *Sample[V], src Source) (*Sample[V], error) {
+	return core.Merge(s1, s2, src)
+}
+
+// HBMerge is the paper's Figure 6 merge for Algorithm HB samples.
+func HBMerge[V comparable](s1, s2 *Sample[V], src Source) (*Sample[V], error) {
+	return core.HBMerge(s1, s2, src)
+}
+
+// HRMerge is the paper's Figure 8 merge for Algorithm HR samples
+// (hypergeometric split, Theorem 1).
+func HRMerge[V comparable](s1, s2 *Sample[V], src Source) (*Sample[V], error) {
+	return core.HRMerge(s1, s2, src)
+}
+
+// SBMerge unions Bernoulli samples, equalizing rates if they differ.
+func SBMerge[V comparable](s1, s2 *Sample[V], src Source) (*Sample[V], error) {
+	return core.SBMerge(s1, s2, src)
+}
+
+// MergeFunc is the signature shared by the pairwise merges.
+type MergeFunc[V comparable] = core.MergeFunc[V]
+
+// MergeSerial folds samples with a left-deep chain of pairwise merges.
+func MergeSerial[V comparable](samples []*Sample[V], merge MergeFunc[V], src Source) (*Sample[V], error) {
+	return core.MergeSerial(samples, merge, src)
+}
+
+// MergeTree folds samples with a balanced binary tree of pairwise merges.
+func MergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src Source) (*Sample[V], error) {
+	return core.MergeTree(samples, merge, src)
+}
+
+// MergeToSize merges two samples into a simple random sample of exactly k
+// elements of the union (any k up to min(|S1|,|S2|); Theorem 1 generalized).
+func MergeToSize[V comparable](s1, s2 *Sample[V], k int64, src Source) (*Sample[V], error) {
+	return core.MergeToSize(s1, s2, k, src)
+}
+
+// MergeTreeParallel is MergeTree with each level's independent pairwise
+// merges executed concurrently; deterministic for a fixed seed.
+func MergeTreeParallel[V comparable](samples []*Sample[V], merge MergeFunc[V], src Source, parallelism int) (*Sample[V], error) {
+	return core.MergeTreeParallel(samples, merge, src, parallelism)
+}
+
+// Stratified is a stratified random sample: per-partition uniform samples
+// kept separate (paper §4.1), queried with stratified-expansion estimators.
+type Stratified[V comparable] = core.Stratified[V]
+
+// NewStratified assembles a stratified sample from per-partition samples.
+func NewStratified[V comparable](samples ...*Sample[V]) (*Stratified[V], error) {
+	return core.NewStratified(samples...)
+}
+
+// NewStratifiedEstimator builds the stratified-expansion estimator.
+func NewStratifiedEstimator[V comparable](st *Stratified[V]) (*estimate.StratifiedEstimator[V], error) {
+	return estimate.NewStratified(st)
+}
+
+// UnionBernoulli unions Bernoulli samples of disjoint partitions without a
+// footprint bound, equalizing rates if needed (paper §4.1).
+func UnionBernoulli[V comparable](samples []*Sample[V], src Source) (*Sample[V], error) {
+	return core.UnionBernoulli(samples, src)
+}
+
+// SymmetricMerger caches alias tables across repeated symmetric HR merges
+// (paper §4.2); use its Merge method with MergeTree.
+type SymmetricMerger[V comparable] = core.SymmetricMerger[V]
+
+// NewSymmetricMerger returns a merger with an empty alias-table cache.
+func NewSymmetricMerger[V comparable]() *SymmetricMerger[V] {
+	return core.NewSymmetricMerger[V]()
+}
+
+// SystematicSampler is 1-in-k systematic sampling with a random start — one
+// of the paper's §6 future-work designs (not uniform; see its doc).
+type SystematicSampler[V comparable] = core.SystematicSampler[V]
+
+// NewSystematicSampler returns a 1-in-k systematic sampler.
+func NewSystematicSampler[V comparable](cfg Config, k int64, seed uint64) *SystematicSampler[V] {
+	return core.NewSystematic[V](cfg, k, randx.New(seed))
+}
+
+// WeightedReservoir is biased (weighted) bounded sampling via
+// Efraimidis–Spirakis A-Res — the paper's §6 "biased sampling" design.
+type WeightedReservoir[V comparable] = core.WeightedReservoir[V]
+
+// NewWeightedReservoir returns a size-k weighted reservoir sampler.
+func NewWeightedReservoir[V comparable](cfg Config, k int64, seed uint64) *WeightedReservoir[V] {
+	return core.NewWeightedReservoir[V](cfg, k, randx.New(seed))
+}
+
+// MergeWeighted merges weighted reservoirs of disjoint partitions exactly.
+func MergeWeighted[V comparable](a, b *WeightedReservoir[V]) (*WeightedReservoir[V], error) {
+	return core.MergeWeighted(a, b)
+}
+
+// Warehouse organizes per-partition samples by data set with roll-in,
+// roll-out, windowing and on-demand merged samples (int64 values; use
+// GenericWarehouse for other value types).
+type Warehouse = warehouse.Warehouse[int64]
+
+// GenericWarehouse is the warehouse over an arbitrary comparable value type.
+type GenericWarehouse[V comparable] = warehouse.Warehouse[V]
+
+// DatasetConfig describes one data set's sampling regime.
+type DatasetConfig = warehouse.DatasetConfig
+
+// Algorithm selects a data set's sampler/merge family.
+type Algorithm = warehouse.Algorithm
+
+// Warehouse algorithm choices.
+const (
+	AlgHB = warehouse.AlgHB
+	AlgHR = warehouse.AlgHR
+	AlgSB = warehouse.AlgSB
+)
+
+// NewWarehouse creates an int64-valued warehouse over store.
+func NewWarehouse(store Store, seed uint64) *Warehouse { return warehouse.New[int64](store, seed) }
+
+// NewGenericWarehouse creates a warehouse over any comparable value type.
+func NewGenericWarehouse[V comparable](store storage.Store[V], seed uint64) *GenericWarehouse[V] {
+	return warehouse.New[V](store, seed)
+}
+
+// GenericStore is the persistence contract for warehouses over arbitrary
+// value types.
+type GenericStore[V comparable] = storage.Store[V]
+
+// NewGenericMemStore returns an in-memory store for any value type.
+func NewGenericMemStore[V comparable]() GenericStore[V] { return storage.NewMemStore[V]() }
+
+// Store is the persistence contract for int64-valued sample warehouses.
+type Store = storage.Store[int64]
+
+// NewMemStore returns an in-memory store.
+func NewMemStore() Store { return storage.NewMemStore[int64]() }
+
+// NewFileStore returns a file-backed store rooted at dir.
+func NewFileStore(dir string) (Store, error) {
+	return storage.NewFileStore[int64](dir, storage.Int64Codec{})
+}
+
+// IsNotFound reports whether err is a missing-key store error.
+func IsNotFound(err error) bool { return storage.IsNotFound(err) }
+
+// Estimate is a point estimate with a confidence interval.
+type Estimate = estimate.Estimate
+
+// Estimator answers approximate queries over one sample.
+type Estimator[V comparable] = estimate.Estimator[V]
+
+// NewEstimator builds a 95%-confidence estimator over a sample.
+func NewEstimator[V comparable](s *Sample[V]) *Estimator[V] { return estimate.New(s) }
+
+// NewOrderedEstimator adds quantile queries given a total order on values.
+func NewOrderedEstimator[V comparable](s *Sample[V], less func(a, b V) bool) (*estimate.OrderedEstimator[V], error) {
+	return estimate.NewOrdered(s, less)
+}
+
+// DiffEstimate returns the estimated difference a − b between estimates from
+// independent samples, with standard errors combined in quadrature.
+func DiffEstimate(a, b Estimate) Estimate { return estimate.Diff(a, b) }
+
+// GroupResult is one group's estimated aggregate from GroupBy.
+type GroupResult[K comparable] = estimate.GroupResult[K]
+
+// GroupBy estimates a GROUP BY COUNT(*) with per-group confidence intervals.
+func GroupBy[V comparable, K comparable](e *Estimator[V], key func(V) K) ([]GroupResult[K], error) {
+	return estimate.GroupBy(e, key)
+}
+
+// JoinSizeEstimate estimates the equality-join size |A ⋈ B| from two
+// samples (a lower-bound-leaning plug-in estimator; see its doc).
+func JoinSizeEstimate[V comparable](a, b *Sample[V]) (float64, error) {
+	return estimate.JoinSizeEstimate(a, b)
+}
+
+// ValueSetResemblance estimates distinct-value overlap between two samples
+// (Jaccard and containment), the metadata-discovery primitive.
+func ValueSetResemblance[V comparable](a, b *Sample[V]) (estimate.Resemblance, error) {
+	return estimate.ValueSetResemblance(a, b)
+}
+
+// FullWarehouse is a miniature full-scale data warehouse (the left side of
+// the paper's Figure 1): file-backed partitions of raw values with exact
+// scan queries — the slow ground truth the sample warehouse shadows.
+type FullWarehouse = fullwh.Warehouse
+
+// OpenFullWarehouse opens (creating if necessary) a full warehouse at dir.
+func OpenFullWarehouse(dir string) (*FullWarehouse, error) { return fullwh.Open(dir) }
+
+// Shadow ties a full warehouse to a sample warehouse: every ingested batch
+// is written to the full side while being sampled, and the bounded sample
+// rolls into the shadow side under the same key.
+type Shadow = fullwh.Shadow
+
+// NewShadow pairs a full warehouse with its sample warehouse.
+func NewShadow(full *FullWarehouse, samples *Warehouse) *Shadow {
+	return fullwh.NewShadow(full, samples)
+}
+
+// Splitter fans one stream out over parallel samplers.
+type Splitter = stream.Splitter
+
+// NewSplitter builds a splitter over w samplers created by factory.
+func NewSplitter(w int, factory stream.SamplerFactory) *Splitter {
+	return stream.NewSplitter(w, factory)
+}
+
+// TemporalPartitioner cuts a stream into fixed-length partitions.
+type TemporalPartitioner = stream.TemporalPartitioner
+
+// NewTemporalPartitioner cuts a partition after every `every` values.
+func NewTemporalPartitioner(every int64, factory stream.SamplerFactory) *TemporalPartitioner {
+	return stream.NewTemporalPartitioner(every, factory)
+}
+
+// RatioPartitioner finalizes a partition whenever the sampling fraction
+// would drop below a lower bound (paper §2's on-the-fly partitioning).
+type RatioPartitioner = stream.RatioPartitioner
+
+// NewRatioPartitioner builds a ratio-triggered partitioner.
+func NewRatioPartitioner(minFraction float64, minSize int64, factory stream.SamplerFactory) (*RatioPartitioner, error) {
+	return stream.NewRatioPartitioner(minFraction, minSize, factory)
+}
+
+// WorkloadSpec describes a synthetic data set (the paper's unique, uniform
+// and Zipfian evaluation workloads).
+type WorkloadSpec = workload.Spec
+
+// Workload distributions.
+const (
+	WorkloadUnique  = workload.Unique
+	WorkloadUniform = workload.Uniform
+	WorkloadZipfian = workload.Zipfian
+)
+
+// NewWorkload returns a generator over the whole synthetic data set.
+func NewWorkload(spec WorkloadSpec) *workload.Generator { return workload.New(spec) }
+
+// WorkloadPartitions returns one generator per contiguous partition.
+func WorkloadPartitions(spec WorkloadSpec, parts int) []*workload.Generator {
+	return workload.Partitions(spec, parts)
+}
