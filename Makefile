@@ -1,0 +1,27 @@
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. CI and pre-commit both run `make check`.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l $(GOFILES))"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+# The figure benches and the instrumentation-overhead comparison.
+bench:
+	go test -run XXX -bench . -benchtime 1s .

@@ -13,6 +13,7 @@ import (
 
 	"samplewh/internal/core"
 	"samplewh/internal/experiments"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 	"samplewh/internal/workload"
 )
@@ -339,6 +340,64 @@ func BenchmarkMergeTreeParallel(b *testing.B) {
 				samples := build(rng)
 				b.StartTimer()
 				if _, err := core.MergeTreeParallel(samples, core.HRMerge[int64], rng, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInstrumentationOverhead measures what the observability layer
+// costs on the sampler hot path (HR Feed): nothing when uninstrumented or
+// instrumented against a nil registry (the no-op methods compile to nil
+// checks), a few atomic adds per element with a live registry, and the same
+// with tracing enabled (events only fire at phase boundaries, never per
+// element).
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	cfg := core.ConfigForNF(8192)
+	run := func(b *testing.B, instrument func(*core.HR[int64])) {
+		rng := randx.New(41)
+		smp := core.NewHR[int64](cfg, rng)
+		if instrument != nil {
+			instrument(smp)
+		}
+		b.SetBytes(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			smp.Feed(int64(i))
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("nil-registry", func(b *testing.B) {
+		run(b, func(smp *core.HR[int64]) { smp.Instrument(nil, "p0") })
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, func(smp *core.HR[int64]) { smp.Instrument(obs.NewRegistry(), "p0") })
+	})
+	b.Run("metrics+tracing", func(b *testing.B) {
+		run(b, func(smp *core.HR[int64]) {
+			reg := obs.NewRegistry()
+			reg.SetSink(obs.NewMemorySink(1024))
+			smp.Instrument(reg, "p0")
+		})
+	})
+	// The acceptance-relevant comparison: the full partition-sample-merge
+	// pipeline (the hot path every figure bench exercises), with and
+	// without a live registry.
+	for _, on := range []bool{false, true} {
+		name := "pipeline/off"
+		opt := benchOpts()
+		if on {
+			name = "pipeline/on"
+			opt.Obs = obs.NewRegistry()
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := randx.New(43)
+			b.SetBytes(1 << 23)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunPipeline(experiments.AlgHR, workload.Unique, 1<<20, 16, opt, rng); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,22 +15,51 @@
 // original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
 // which take considerably longer.
 //
+// Results print as aligned text tables by default; -json FILE additionally
+// writes every report (plus the metrics snapshot, when instrumented) as one
+// machine-readable JSON document ("-" selects stdout). -metrics ADDR
+// instruments the experiment pipelines and serves the live metrics snapshot
+// at http://ADDR/debug/vars (expvar) alongside net/http/pprof profiling
+// endpoints, printing the final metrics report to stderr on exit.
+//
 // Usage:
 //
 //	swbench -exp all
 //	swbench -exp fig10 -logn 24 -runs 3
 //	swbench -exp fig15 -parts 1,2,4,8,16,32,64,128,256,512,1024 -full
+//	swbench -exp fig11 -json results.json -metrics localhost:6060
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"samplewh/internal/experiments"
+	"samplewh/internal/obs"
 )
+
+// jsonResult is one experiment's machine-readable output.
+type jsonResult struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// jsonDocument is the -json output: every report plus the metrics snapshot
+// when -metrics instrumented the run.
+type jsonDocument struct {
+	Results []jsonResult  `json:"results"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
 
 func main() {
 	var (
@@ -46,6 +75,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base RNG seed")
 		parallelism = flag.Int("parallelism", 0, "sampler goroutines (0 = GOMAXPROCS)")
 		trials      = flag.Int("trials", 0, "trials for concise/uniformity experiments")
+		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
+		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
 	)
 	flag.Parse()
 
@@ -55,6 +86,20 @@ func main() {
 		Parallelism: *parallelism,
 		NF:          *nf,
 		P:           *p,
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opt.Obs = reg
+		expvar.Publish("samplewh", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			// DefaultServeMux carries /debug/vars (expvar) and /debug/pprof/*.
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "swbench: metrics server: %v\n", err)
+			}
+		}()
+		defer func() { fmt.Fprint(os.Stderr, reg.String()) }()
 	}
 	if opt.Runs == 0 {
 		opt.Runs = 1
@@ -78,32 +123,47 @@ func main() {
 		scales = []int{8, 16, 32, 64, 128}
 	}
 
+	var collected []jsonResult
+	emit := func(name string, r *experiments.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		collected = append(collected, jsonResult{
+			Name:   name,
+			Title:  r.Title,
+			Header: r.Header,
+			Rows:   r.Rows,
+			Notes:  r.Notes,
+		})
+		return nil
+	}
+
 	run := func(name string) error {
 		switch name {
 		case "fig5":
-			fmt.Println(experiments.Fig5())
-			return nil
+			return emit(name, experiments.Fig5(), nil)
 		case "fig9", "fig10", "fig11":
 			alg := map[string]experiments.Alg{"fig9": experiments.AlgSB, "fig10": experiments.AlgHB, "fig11": experiments.AlgHR}[name]
 			r, err := experiments.Speedup(alg, speedupLogN, parts, opt)
-			return print(r, err)
+			return emit(name, r, err)
 		case "fig12", "fig13", "fig14":
 			alg := map[string]experiments.Alg{"fig12": experiments.AlgSB, "fig13": experiments.AlgHB, "fig14": experiments.AlgHR}[name]
 			r, err := experiments.Scaleup(alg, scales, *per, opt)
-			return print(r, err)
+			return emit(name, r, err)
 		case "fig15":
 			r, err := experiments.SampleSizes(experiments.AlgHB, parts, *per, opt)
-			return print(r, err)
+			return emit(name, r, err)
 		case "fig16":
 			r, err := experiments.SampleSizes(experiments.AlgHR, parts, *per, opt)
-			return print(r, err)
+			return emit(name, r, err)
 		case "concise":
 			r, err := experiments.ConciseNonUniformity(*trials, opt)
-			return print(r, err)
+			return emit(name, r, err)
 		case "calibration":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {
 				r, err := experiments.EstimatorCalibration(alg, *trials, opt)
-				if err := print(r, err); err != nil {
+				if err := emit(fmt.Sprintf("%s-%s", name, alg), r, err); err != nil {
 					return err
 				}
 			}
@@ -111,7 +171,7 @@ func main() {
 		case "uniformity":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {
 				r, err := experiments.UniformityAudit(alg, *trials, opt)
-				if err := print(r, err); err != nil {
+				if err := emit(fmt.Sprintf("%s-%s", name, alg), r, err); err != nil {
 					return err
 				}
 			}
@@ -132,15 +192,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
 
-// print renders a report or forwards its error.
-func print(r *experiments.Report, err error) error {
-	if err != nil {
-		return err
+	if *jsonOut != "" {
+		doc := jsonDocument{Results: collected}
+		if reg != nil {
+			snap := reg.Snapshot()
+			doc.Metrics = &snap
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
-	fmt.Println(r)
-	return nil
 }
 
 // parseInts parses a comma-separated integer list; empty input gives nil.

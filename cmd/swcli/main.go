@@ -30,6 +30,7 @@ import (
 
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
+	"samplewh/internal/obs"
 	"samplewh/internal/storage"
 	"samplewh/internal/warehouse"
 )
@@ -50,35 +51,44 @@ type catalogEntry struct {
 
 func main() {
 	dir := flag.String("dir", "", "warehouse directory (required)")
+	metrics := flag.Bool("metrics", false, "instrument the warehouse and print a metrics report to stderr")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	cli := &cli{dir: *dir}
-	if err := cli.open(); err != nil {
-		fatal(err)
+	if *metrics {
+		cli.reg = obs.NewRegistry()
 	}
-	cmd, args := flag.Arg(0), flag.Args()[1:]
-	var err error
-	switch cmd {
-	case "create":
-		err = cli.create(args)
-	case "ingest":
-		err = cli.ingest(args)
-	case "ls":
-		err = cli.ls(args)
-	case "info":
-		err = cli.info(args)
-	case "merge":
-		err = cli.merge(args)
-	case "estimate":
-		err = cli.estimate(args)
-	case "rollout":
-		err = cli.rollout(args)
-	default:
-		usage()
-		os.Exit(2)
+	err := cli.open()
+	if err == nil {
+		cmd, args := flag.Arg(0), flag.Args()[1:]
+		switch cmd {
+		case "create":
+			err = cli.create(args)
+		case "ingest":
+			err = cli.ingest(args)
+		case "ls":
+			err = cli.ls(args)
+		case "info":
+			err = cli.info(args)
+		case "merge":
+			err = cli.merge(args)
+		case "estimate":
+			err = cli.estimate(args)
+		case "rollout":
+			err = cli.rollout(args)
+		default:
+			usage()
+			os.Exit(2)
+		}
+	}
+	// Print the report even on failure — the error counters and latency
+	// histograms matter most when something went wrong (fatal os.Exits, so
+	// a defer would be skipped).
+	if cli.reg != nil {
+		fmt.Fprint(os.Stderr, cli.reg.String())
 	}
 	if err != nil {
 		fatal(err)
@@ -106,6 +116,7 @@ type cli struct {
 	dir string
 	cat catalog
 	wh  *warehouse.Warehouse[int64]
+	reg *obs.Registry // non-nil when -metrics is set
 }
 
 // catalogPath returns the registry file location.
@@ -117,7 +128,9 @@ func (c *cli) open() error {
 	if err != nil {
 		return err
 	}
+	st.Instrument(c.reg)                          // nil reg = uninstrumented
 	c.wh = warehouse.New[int64](st, 0x5357434c49) // fixed base seed; per-partition seeds come from the catalog
+	c.wh.Instrument(c.reg)
 	c.cat.Datasets = map[string]*catalogEntry{}
 	data, err := os.ReadFile(c.catalogPath())
 	if os.IsNotExist(err) {

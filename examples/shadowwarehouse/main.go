@@ -32,7 +32,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Observability: one registry collects metrics from the store, the
+	// warehouse and every sampler it hands out; a ring-buffer sink retains
+	// the most recent structured events.
+	reg := samplewh.NewMetrics()
+	sink := samplewh.NewMemorySink(8)
+	reg.SetSink(sink)
+	samplewh.InstrumentStore(store, reg)
+
 	samples := samplewh.NewWarehouse(store, 7)
+	samples.Instrument(reg)
 	if err := samples.CreateDataset("sensor", samplewh.DatasetConfig{
 		Algorithm: samplewh.AlgHR,
 		Core:      samplewh.ConfigForNF(4096),
@@ -139,4 +149,12 @@ func main() {
 	}
 	fmt.Printf("\nafter rolling out batch-0: full=%d values, shadow parent=%d (consistent: %v)\n",
 		size2, m2.ParentSize, size2 == m2.ParentSize)
+
+	// What the instrumentation saw: counters, gauges, latency histograms,
+	// and the tail of the structured event trace.
+	fmt.Printf("\n=== metrics ===\n%s", reg.String())
+	fmt.Println("\n=== recent events ===")
+	for _, e := range sink.Events() {
+		fmt.Printf("#%-3d %-16s %s/%s %v\n", e.Seq, e.Type, e.Dataset, e.Partition, e.Values)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 )
 
@@ -37,6 +38,14 @@ type BernoulliSampler[V comparable] struct {
 	seen      int64
 	src       randx.Source
 	finalized bool
+	o         samplerObs
+}
+
+// Instrument routes the sampler's metrics and events into reg, labelled
+// with the given partition ID (empty is fine). Call it before the first
+// Feed; a nil registry leaves the sampler uninstrumented.
+func (b *BernoulliSampler[V]) Instrument(reg *obs.Registry, partition string) {
+	b.o = newSamplerObs(reg, "core.sb", partition)
 }
 
 // NewBernoulli returns a Bern(q) sampler. It panics if q is outside [0, 1].
@@ -73,9 +82,11 @@ func (b *BernoulliSampler[V]) FeedN(v V, n int64) {
 	if n < 1 {
 		panic(fmt.Sprintf("core: FeedN with n = %d < 1", n))
 	}
+	b.o.countItems(n)
 	b.seen += n
 	if m := randx.Binomial(b.src, n, b.q); m > 0 {
 		b.hist.Insert(v, m)
+		b.o.accepts.Add(m)
 	}
 }
 
@@ -85,13 +96,15 @@ func (b *BernoulliSampler[V]) Finalize() (*Sample[V], error) {
 		return nil, fmt.Errorf("core: BernoulliSampler already finalized")
 	}
 	b.finalized = true
-	return &Sample[V]{
+	out := &Sample[V]{
 		Kind:       BernoulliKind,
 		Hist:       b.hist,
 		ParentSize: b.seen,
 		Q:          b.q,
 		Config:     b.cfg,
-	}, nil
+	}
+	b.o.finalize(out.Kind, b.seen, out.Size(), out.Footprint())
+	return out, nil
 }
 
 // SB is Algorithm SB, the paper's "stratified Bernoulli" benchmark scheme

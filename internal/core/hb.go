@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 )
 
@@ -66,6 +67,14 @@ type HB[V comparable] struct {
 	rk        int64 // reservoir capacity in phase 3 (n_F, except when a merge seeds the sampler from a smaller reservoir sample)
 	sk        *randx.Skipper
 	finalized bool
+	o         samplerObs
+}
+
+// Instrument routes the sampler's metrics and events into reg, labelled
+// with the given partition ID (empty is fine). Call it before the first
+// Feed; a nil registry leaves the sampler uninstrumented.
+func (s *HB[V]) Instrument(reg *obs.Registry, partition string) {
+	s.o = newSamplerObs(reg, "core.hb", partition)
 }
 
 // NewHB returns an Algorithm HB sampler for a partition of expected size
@@ -130,6 +139,7 @@ func (s *HB[V]) FeedN(v V, n int64) {
 	if n < 1 {
 		panic(fmt.Sprintf("core: FeedN with n = %d < 1", n))
 	}
+	s.o.countItems(n)
 	for n > 0 {
 		switch s.phase {
 		case PhaseExact:
@@ -172,13 +182,19 @@ func (s *HB[V]) feedExact(v V, n int64) int64 {
 // Bernoulli subsample that phase 2 would need; if even that is too large,
 // reservoir-subsample to n_F and enter phase 3.
 func (s *HB[V]) leaveExact() {
+	before := s.hist.Size()
 	PurgeBernoulli(s.hist, s.q, s.src)
+	s.o.purge("bernoulli", before, s.hist.Size(), s.seen)
 	if s.hist.Size() < s.nf {
 		s.phase = PhaseBernoulli
+		s.o.transition(PhaseExact, PhaseBernoulli, s.seen, s.hist.Size(), s.CurrentFootprint())
 		return
 	}
+	before = s.hist.Size()
 	PurgeReservoir(s.hist, s.nf, s.src)
+	s.o.purge("reservoir", before, s.hist.Size(), s.seen)
 	s.enterReservoir(s.nf)
+	s.o.transition(PhaseExact, PhaseReservoir, s.seen, s.SampleSize(), s.CurrentFootprint())
 }
 
 // enterReservoir switches to phase 3 with reservoir capacity k and schedules
@@ -201,6 +217,7 @@ func (s *HB[V]) feedBernoulli(v V, n int64) int64 {
 			for j := int64(0); j < m; j++ {
 				s.bag = append(s.bag, v)
 			}
+			s.o.accepts.Add(m)
 		}
 		s.seen += n
 		return 0
@@ -212,8 +229,10 @@ func (s *HB[V]) feedBernoulli(v V, n int64) int64 {
 		if randx.Float64(s.src) <= s.q {
 			s.ensureExpanded()
 			s.bag = append(s.bag, v)
+			s.o.accepts.Inc()
 			if int64(len(s.bag)) >= s.nf {
 				s.enterReservoir(s.nf)
+				s.o.transition(PhaseBernoulli, PhaseReservoir, s.seen, s.SampleSize(), s.CurrentFootprint())
 				return n
 			}
 		}
@@ -229,6 +248,7 @@ func (s *HB[V]) feedReservoir(v V, n int64) int64 {
 		s.ensureExpanded()
 		// removeRandomVictim + insert == overwrite a uniform slot.
 		s.bag[randx.Intn(s.src, len(s.bag))] = v
+		s.o.inserts.Inc()
 		s.next = s.next + 1 + s.sk.Skip(s.next)
 	}
 	s.seen = end
@@ -277,6 +297,7 @@ func (s *HB[V]) Finalize() (*Sample[V], error) {
 	case PhaseReservoir:
 		out.Kind = ReservoirKind
 	}
+	s.o.finalize(out.Kind, s.seen, out.Size(), out.Footprint())
 	return out, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 )
 
@@ -36,6 +37,14 @@ type HR[V comparable] struct {
 	rk        int64 // reservoir capacity (n_F, except when a merge seeds the sampler from a smaller reservoir sample)
 	sk        *randx.Skipper
 	finalized bool
+	o         samplerObs
+}
+
+// Instrument routes the sampler's metrics and events into reg, labelled
+// with the given partition ID (empty is fine). Call it before the first
+// Feed; a nil registry leaves the sampler uninstrumented.
+func (s *HR[V]) Instrument(reg *obs.Registry, partition string) {
+	s.o = newSamplerObs(reg, "core.hr", partition)
 }
 
 // NewHR returns an Algorithm HR sampler. It panics on invalid configuration.
@@ -96,6 +105,7 @@ func (s *HR[V]) FeedN(v V, n int64) {
 	if n < 1 {
 		panic(fmt.Sprintf("core: FeedN with n = %d < 1", n))
 	}
+	s.o.countItems(n)
 	for n > 0 {
 		if s.phase == PhaseExact {
 			n = s.feedExact(v, n)
@@ -113,6 +123,7 @@ func (s *HR[V]) feedExact(v V, n int64) int64 {
 		// footprint past F (see HB.feedExact).
 		if s.hist.FootprintAfterInsert(v) > s.cfg.FootprintBytes {
 			s.enterReservoir(s.nf)
+			s.o.transition(PhaseExact, PhaseReservoir, s.seen, s.SampleSize(), s.CurrentFootprint())
 			return n
 		}
 		s.hist.Insert(v, 1)
@@ -144,6 +155,7 @@ func (s *HR[V]) feedReservoir(v V, n int64) int64 {
 	for s.next <= end {
 		s.ensureReady()
 		s.bag[randx.Intn(s.src, len(s.bag))] = v
+		s.o.inserts.Inc()
 		s.next = s.next + 1 + s.sk.Skip(s.next)
 	}
 	s.seen = end
@@ -157,7 +169,9 @@ func (s *HR[V]) ensureReady() {
 		return
 	}
 	if !s.purged {
+		before := s.hist.Size()
 		PurgeReservoir(s.hist, s.rk, s.src)
+		s.o.purge("reservoir", before, s.hist.Size(), s.seen)
 		s.purged = true
 	}
 	s.bag = s.hist.Expand()
@@ -190,12 +204,15 @@ func (s *HR[V]) Finalize() (*Sample[V], error) {
 		// Phase switch happened but no insertion followed: apply the lazy
 		// purge now so the bound holds.
 		if !s.purged {
+			before := s.hist.Size()
 			PurgeReservoir(s.hist, s.rk, s.src)
+			s.o.purge("reservoir", before, s.hist.Size(), s.seen)
 		}
 		out.Kind = ReservoirKind
 		out.Hist = s.hist
 	}
 	s.hist = nil
+	s.o.finalize(out.Kind, s.seen, out.Size(), out.Footprint())
 	return out, nil
 }
 

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"samplewh/internal/obs"
+	"samplewh/internal/randx"
+)
+
+// collectEvents filters a sink's retained events by type.
+func collectEvents(sink *obs.MemorySink, typ string) []obs.Event {
+	var out []obs.Event
+	for _, e := range sink.Events() {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestHBPhaseTransitionEvents drives Algorithm HB through both of its
+// boundary crossings and asserts exactly one PhaseTransition event is
+// emitted per crossing: exhaustive→Bernoulli, then Bernoulli→reservoir.
+func TestHBPhaseTransitionEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewMemorySink(1024)
+	reg.SetSink(sink)
+
+	cfg := ConfigForNF(64)
+	// expectedN well above n_F keeps q comfortably inside (0,1), so the
+	// exact phase exits into Bernoulli, and enough further arrivals push the
+	// Bernoulli sample over n_F into the reservoir fallback.
+	hb := NewHB[int64](cfg, 4*64, randx.New(1))
+	hb.Instrument(reg, "p0")
+
+	v := int64(0)
+	for hb.Phase() == PhaseExact {
+		hb.Feed(v)
+		v++
+	}
+	got := collectEvents(sink, obs.EvPhaseTransition)
+	if len(got) != 1 {
+		t.Fatalf("after exact exit: %d transition events, want exactly 1", len(got))
+	}
+	if got[0].Labels["from"] != "exact" || got[0].Labels["to"] != "bernoulli" {
+		t.Fatalf("first transition %v, want exact→bernoulli", got[0].Labels)
+	}
+	if got[0].Component != "core.hb" || got[0].Partition != "p0" {
+		t.Errorf("transition mislabelled: %+v", got[0])
+	}
+
+	for hb.Phase() == PhaseBernoulli {
+		hb.Feed(v)
+		v++
+		if v > 1<<20 {
+			t.Fatal("sampler never entered reservoir phase")
+		}
+	}
+	got = collectEvents(sink, obs.EvPhaseTransition)
+	if len(got) != 2 {
+		t.Fatalf("after reservoir entry: %d transition events, want exactly 2", len(got))
+	}
+	if got[1].Labels["from"] != "bernoulli" || got[1].Labels["to"] != "reservoir" {
+		t.Fatalf("second transition %v, want bernoulli→reservoir", got[1].Labels)
+	}
+
+	// Feeding on in reservoir phase must not produce further transitions.
+	for i := 0; i < 10000; i++ {
+		hb.Feed(v)
+		v++
+	}
+	if n := len(collectEvents(sink, obs.EvPhaseTransition)); n != 2 {
+		t.Errorf("steady reservoir phase emitted extra transitions: %d total", n)
+	}
+	if c := reg.Counter("core.hb.phase_transitions").Value(); c != 2 {
+		t.Errorf("phase_transitions counter = %d, want 2", c)
+	}
+	// Mid-stream the batched items counter may trail Seen() by less than
+	// one flush batch; Finalize flushes, after which it is exact.
+	if items, seen := reg.Counter("core.hb.items").Value(), hb.Seen(); items > seen || seen-items >= 4096 {
+		t.Errorf("mid-stream items counter %d outside (%d-4096, %d]", items, seen, seen)
+	}
+	if _, err := hb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if items := reg.Counter("core.hb.items").Value(); items != hb.Seen() {
+		t.Errorf("items counter after finalize %d != Seen() %d", items, hb.Seen())
+	}
+	if n := len(collectEvents(sink, obs.EvFinalize)); n != 1 {
+		t.Errorf("finalize events = %d, want 1", n)
+	}
+}
+
+// TestHBCountersReconcile finishes Algorithm HB in its Bernoulli phase and
+// checks the accounting identity: final sample size = size left by the
+// phase-1 purge + Bernoulli acceptances since.
+func TestHBCountersReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewMemorySink(64)
+	reg.SetSink(sink)
+
+	const n = 4096
+	cfg := ConfigForNF(512)
+	hb := NewHB[int64](cfg, n, randx.New(7))
+	hb.Instrument(reg, "")
+	for v := int64(0); v < n; v++ {
+		hb.Feed(v)
+	}
+	s, err := hb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != BernoulliKind {
+		t.Fatalf("sample kind %v; this test needs a Bernoulli finish (tune n/nF)", s.Kind)
+	}
+	purges := collectEvents(sink, obs.EvPurge)
+	if len(purges) != 1 {
+		t.Fatalf("purge events = %d, want 1 (the phase-1 exit)", len(purges))
+	}
+	after := purges[0].Values["after"]
+	accepts := reg.Counter("core.hb.accepts").Value()
+	if got := s.Size(); got != after+accepts {
+		t.Errorf("final size %d != purge-survivors %d + accepts %d", got, after, accepts)
+	}
+	dropped := reg.Counter("core.purge.dropped").Value()
+	if want := purges[0].Values["before"] - after; dropped != want {
+		t.Errorf("purge.dropped = %d, want %d", dropped, want)
+	}
+	if items := reg.Counter("core.hb.items").Value(); items != n || s.ParentSize != n {
+		t.Errorf("items=%d parent=%d, want both %d", items, s.ParentSize, n)
+	}
+}
+
+// TestHRTransitionAndReconcile checks Algorithm HR: exactly one
+// exact→reservoir crossing, and the final sample size equals the lazy
+// purge's survivor count (reservoir insertions replace, never grow).
+func TestHRTransitionAndReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewMemorySink(64)
+	reg.SetSink(sink)
+
+	const n = 10000
+	cfg := ConfigForNF(64)
+	hr := NewHR[int64](cfg, randx.New(3))
+	hr.Instrument(reg, "day-1")
+	for v := int64(0); v < n; v++ {
+		hr.Feed(v)
+	}
+	s, err := hr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans := collectEvents(sink, obs.EvPhaseTransition)
+	if len(trans) != 1 {
+		t.Fatalf("transition events = %d, want exactly 1", len(trans))
+	}
+	if trans[0].Labels["from"] != "exact" || trans[0].Labels["to"] != "reservoir" {
+		t.Fatalf("transition %v, want exact→reservoir", trans[0].Labels)
+	}
+	if s.Kind != ReservoirKind || s.Size() != 64 {
+		t.Fatalf("final sample kind=%v size=%d, want reservoir of 64", s.Kind, s.Size())
+	}
+	purges := collectEvents(sink, obs.EvPurge)
+	if len(purges) != 1 {
+		t.Fatalf("purge events = %d, want 1 (the lazy reservoir purge)", len(purges))
+	}
+	if purges[0].Values["after"] != s.Size() {
+		t.Errorf("purge left %d values but final size is %d", purges[0].Values["after"], s.Size())
+	}
+	if items := reg.Counter("core.hr.items").Value(); items != n {
+		t.Errorf("items counter = %d, want %d", items, n)
+	}
+	if ins := reg.Counter("core.hr.reservoir_inserts").Value(); ins <= 0 {
+		t.Errorf("reservoir_inserts = %d, want > 0 over %d arrivals", ins, n)
+	}
+}
+
+// TestHRExhaustiveNoEvents: a partition that never hits the bound crosses
+// no boundary and purges nothing — the trace must be silent except for the
+// finalize record.
+func TestHRExhaustiveNoEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewMemorySink(16)
+	reg.SetSink(sink)
+	hr := NewHR[int64](ConfigForNF(1024), randx.New(5))
+	hr.Instrument(reg, "")
+	for v := int64(0); v < 100; v++ {
+		hr.Feed(v)
+	}
+	s, err := hr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Exhaustive {
+		t.Fatalf("kind = %v, want exhaustive", s.Kind)
+	}
+	if n := len(collectEvents(sink, obs.EvPhaseTransition)); n != 0 {
+		t.Errorf("exhaustive run emitted %d transitions", n)
+	}
+	if n := len(collectEvents(sink, obs.EvPurge)); n != 0 {
+		t.Errorf("exhaustive run emitted %d purges", n)
+	}
+	if n := len(collectEvents(sink, obs.EvFinalize)); n != 1 {
+		t.Errorf("finalize events = %d, want 1", n)
+	}
+}
+
+// TestSBCountersReconcile: for the fixed-rate Bernoulli baseline the accept
+// counter IS the sample size.
+func TestSBCountersReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	sb := NewSB[int64](ConfigForNF(1024), 0.25, randx.New(9))
+	sb.Instrument(reg, "")
+	const n = 5000
+	for v := int64(0); v < n; v++ {
+		sb.Feed(v)
+	}
+	s, err := sb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := reg.Counter("core.sb.accepts").Value(); acc != s.Size() {
+		t.Errorf("accepts %d != sample size %d", acc, s.Size())
+	}
+	if items := reg.Counter("core.sb.items").Value(); items != n {
+		t.Errorf("items = %d, want %d", items, n)
+	}
+}
+
+// TestUninstrumentedSamplersUnchanged guards the nil-safe no-op contract at
+// the sampler level: an uninstrumented run must behave identically (same
+// deterministic sample) with zero observability state.
+func TestUninstrumentedSamplersUnchanged(t *testing.T) {
+	cfg := ConfigForNF(64)
+	run := func(reg *obs.Registry) *Sample[int64] {
+		hr := NewHR[int64](cfg, randx.New(11))
+		if reg != nil {
+			hr.Instrument(reg, "x")
+		}
+		for v := int64(0); v < 3000; v++ {
+			hr.Feed(v)
+		}
+		s, err := hr.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	plain := run(nil)
+	instr := run(obs.NewRegistry())
+	if plain.Size() != instr.Size() || plain.Kind != instr.Kind || plain.ParentSize != instr.ParentSize {
+		t.Errorf("instrumentation changed the sample: %+v vs %+v", plain, instr)
+	}
+	a := plain.Hist.Expand()
+	b := instr.Hist.Expand()
+	if len(a) != len(b) {
+		t.Fatalf("bag sizes differ: %d vs %d", len(a), len(b))
+	}
+	am := map[int64]int{}
+	for _, v := range a {
+		am[v]++
+	}
+	for _, v := range b {
+		am[v]--
+	}
+	for v, c := range am {
+		if c != 0 {
+			t.Fatalf("samples differ at value %d (delta %d)", v, c)
+		}
+	}
+}

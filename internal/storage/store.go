@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,10 +34,12 @@ type NotFoundError struct{ Key string }
 // Error implements error.
 func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: key %q not found", e.Key) }
 
-// IsNotFound reports whether err indicates a missing key.
+// IsNotFound reports whether err indicates a missing key, unwrapping any
+// context added by callers (the warehouse wraps store errors with the
+// dataset/partition coordinates).
 func IsNotFound(err error) bool {
-	_, ok := err.(*NotFoundError)
-	return ok
+	var nf *NotFoundError
+	return errors.As(err, &nf)
 }
 
 // MemStore is an in-memory Store, safe for concurrent use. Samples are
@@ -45,6 +48,7 @@ func IsNotFound(err error) bool {
 type MemStore[V comparable] struct {
 	mu sync.RWMutex
 	m  map[string]*core.Sample[V]
+	o  storeObs
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -57,28 +61,40 @@ func (s *MemStore[V]) Put(key string, smp *core.Sample[V]) error {
 	if smp == nil {
 		return fmt.Errorf("storage: Put nil sample at %q", key)
 	}
+	t := s.o.putNS.Start()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.m[key] = smp.Clone()
+	s.mu.Unlock()
+	t.Stop()
+	s.o.puts.Inc()
 	return nil
 }
 
 // Get implements Store.
 func (s *MemStore[V]) Get(key string) (*core.Sample[V], error) {
+	t := s.o.getNS.Start()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	smp, ok := s.m[key]
+	var out *core.Sample[V]
+	if ok {
+		out = smp.Clone()
+	}
+	s.mu.RUnlock()
+	t.Stop()
+	s.o.gets.Inc()
 	if !ok {
+		s.o.misses.Inc()
 		return nil, &NotFoundError{Key: key}
 	}
-	return smp.Clone(), nil
+	return out, nil
 }
 
 // Delete implements Store.
 func (s *MemStore[V]) Delete(key string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.m, key)
+	s.mu.Unlock()
+	s.o.deletes.Inc()
 	return nil
 }
 
@@ -103,6 +119,7 @@ type FileStore[V comparable] struct {
 	root  string
 	codec ValueCodec[V]
 	mu    sync.Mutex
+	o     storeObs
 }
 
 // NewFileStore opens (creating if needed) a file store rooted at dir.
@@ -163,59 +180,77 @@ func (s *FileStore[V]) keyFor(path string) (string, error) {
 
 // Put implements Store with atomic replace.
 func (s *FileStore[V]) Put(key string, smp *core.Sample[V]) error {
+	t := s.o.putNS.Start()
+	defer t.Stop()
 	path, err := s.pathFor(key)
 	if err != nil {
 		return err
 	}
+	te := s.o.encodeNS.Start()
 	data, err := EncodeSample(smp, s.codec)
+	te.Stop()
 	if err != nil {
-		return err
+		return fmt.Errorf("storage: put %q: encode: %w", key, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("storage: mkdir: %w", err)
+		return fmt.Errorf("storage: put %q: mkdir: %w", key, err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("storage: temp file: %w", err)
+		return fmt.Errorf("storage: put %q: temp file: %w", key, err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: write: %w", err)
+		return fmt.Errorf("storage: put %q: write: %w", key, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: sync: %w", err)
+		return fmt.Errorf("storage: put %q: sync: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: close: %w", err)
+		return fmt.Errorf("storage: put %q: close: %w", key, err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: rename: %w", err)
+		return fmt.Errorf("storage: put %q: rename: %w", key, err)
 	}
+	s.o.puts.Inc()
+	s.o.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
 // Get implements Store.
 func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
+	t := s.o.getNS.Start()
+	defer t.Stop()
 	path, err := s.pathFor(key)
 	if err != nil {
 		return nil, err
 	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
+		s.o.gets.Inc()
+		s.o.misses.Inc()
 		return nil, &NotFoundError{Key: key}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("storage: read: %w", err)
+		return nil, fmt.Errorf("storage: get %q: read: %w", key, err)
 	}
-	return DecodeSample(data, s.codec)
+	td := s.o.decodeNS.Start()
+	smp, err := DecodeSample(data, s.codec)
+	td.Stop()
+	if err != nil {
+		return nil, fmt.Errorf("storage: get %q: decode: %w", key, err)
+	}
+	s.o.gets.Inc()
+	s.o.bytesRead.Add(int64(len(data)))
+	return smp, nil
 }
 
 // Delete implements Store.
@@ -225,8 +260,9 @@ func (s *FileStore[V]) Delete(key string) error {
 		return err
 	}
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("storage: delete: %w", err)
+		return fmt.Errorf("storage: delete %q: %w", key, err)
 	}
+	s.o.deletes.Inc()
 	return nil
 }
 

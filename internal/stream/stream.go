@@ -13,8 +13,57 @@ import (
 	"sync"
 
 	"samplewh/internal/core"
+	"samplewh/internal/obs"
 	"samplewh/internal/workload"
 )
+
+// partitionerObs bundles a stream partitioner's metric handles; the zero
+// value is the no-op bundle.
+type partitionerObs struct {
+	reg       *obs.Registry
+	component string
+	cuts      *obs.Counter // stream.partitions_cut
+}
+
+// newPartitionerObs caches the handles; nil registry → no-op bundle.
+func newPartitionerObs(r *obs.Registry, component string) partitionerObs {
+	return partitionerObs{
+		reg:       r,
+		component: component,
+		cuts:      r.Counter("stream.partitions_cut"),
+	}
+}
+
+// cut records one finalized partition: the counter bump plus (when tracing)
+// an EvPartitionCut event.
+func (o *partitionerObs) cut(idx int, s *core.Sample[int64]) {
+	o.cuts.Inc()
+	if o.reg.Tracing() {
+		o.reg.Emit(obs.Event{
+			Type:      obs.EvPartitionCut,
+			Component: o.component,
+			Partition: fmt.Sprintf("p%d", idx),
+			Values: map[string]int64{
+				"index":       int64(idx),
+				"seen":        s.ParentSize,
+				"sample_size": s.Size(),
+			},
+		})
+	}
+}
+
+// instrumentSampler routes a sampler's metrics into reg when the sampler
+// supports instrumentation (all core samplers do). Nil reg is a no-op.
+func instrumentSampler(s core.Sampler[int64], reg *obs.Registry, partition string) {
+	if reg == nil {
+		return
+	}
+	if in, ok := s.(interface {
+		Instrument(*obs.Registry, string)
+	}); ok {
+		in.Instrument(reg, partition)
+	}
+}
 
 // SamplerFactory builds the sampler for partition index i covering
 // expectedN elements.
@@ -80,6 +129,9 @@ type Splitter struct {
 	samplers []core.Sampler[int64]
 	next     int
 	fed      int64
+
+	items *obs.Counter   // stream.split.items
+	lanes []*obs.Counter // stream.lane.<i>.items (nil entries when uninstrumented)
 }
 
 // NewSplitter builds a splitter over w samplers created by factory.
@@ -87,16 +139,32 @@ func NewSplitter(w int, factory SamplerFactory) *Splitter {
 	if w < 1 {
 		panic(fmt.Sprintf("stream: NewSplitter with w = %d < 1", w))
 	}
-	sp := &Splitter{samplers: make([]core.Sampler[int64], w)}
+	sp := &Splitter{
+		samplers: make([]core.Sampler[int64], w),
+		lanes:    make([]*obs.Counter, w),
+	}
 	for i := range sp.samplers {
 		sp.samplers[i] = factory(i, 0)
 	}
 	return sp
 }
 
+// Instrument routes the splitter's metrics into reg: the total item count,
+// one per-lane item counter, and the lane samplers themselves. Call it
+// before the first Feed; a nil registry leaves the splitter uninstrumented.
+func (sp *Splitter) Instrument(reg *obs.Registry) {
+	sp.items = reg.Counter("stream.split.items")
+	for i, s := range sp.samplers {
+		sp.lanes[i] = reg.Counter(fmt.Sprintf("stream.lane.%d.items", i))
+		instrumentSampler(s, reg, fmt.Sprintf("lane-%d", i))
+	}
+}
+
 // Feed routes one value to the next sampler in round-robin order.
 func (sp *Splitter) Feed(v int64) {
 	sp.samplers[sp.next].Feed(v)
+	sp.items.Inc()
+	sp.lanes[sp.next].Inc()
 	sp.next = (sp.next + 1) % len(sp.samplers)
 	sp.fed++
 }
@@ -127,6 +195,7 @@ type TemporalPartitioner struct {
 	curIdx  int
 	inCur   int64
 	done    []*core.Sample[int64]
+	o       partitionerObs
 }
 
 // NewTemporalPartitioner cuts a new partition after every `every` values.
@@ -137,6 +206,14 @@ func NewTemporalPartitioner(every int64, factory SamplerFactory) *TemporalPartit
 	tp := &TemporalPartitioner{every: every, factory: factory}
 	tp.cur = factory(0, every)
 	return tp
+}
+
+// Instrument routes the partitioner's metrics and EvPartitionCut events into
+// reg, and instruments the current and all future partition samplers. Call
+// it before the first Feed; a nil registry is a no-op.
+func (tp *TemporalPartitioner) Instrument(reg *obs.Registry) {
+	tp.o = newPartitionerObs(reg, "stream.temporal")
+	instrumentSampler(tp.cur, reg, fmt.Sprintf("p%d", tp.curIdx))
 }
 
 // Feed processes one value, cutting a partition boundary when due.
@@ -156,8 +233,10 @@ func (tp *TemporalPartitioner) cut() error {
 		return fmt.Errorf("stream: temporal cut: %w", err)
 	}
 	tp.done = append(tp.done, s)
+	tp.o.cut(tp.curIdx, s)
 	tp.curIdx++
 	tp.cur = tp.factory(tp.curIdx, tp.every)
+	instrumentSampler(tp.cur, tp.o.reg, fmt.Sprintf("p%d", tp.curIdx))
 	tp.inCur = 0
 	return nil
 }
@@ -189,6 +268,7 @@ type RatioPartitioner struct {
 	}
 	curIdx int
 	done   []*core.Sample[int64]
+	o      partitionerObs
 }
 
 // NewRatioPartitioner cuts a partition whenever sampled/seen would drop
@@ -209,6 +289,14 @@ func NewRatioPartitioner(minFraction float64, minSize int64, factory SamplerFact
 	return rp, nil
 }
 
+// Instrument routes the partitioner's metrics and EvPartitionCut events into
+// reg, and instruments the current and all future partition samplers. Call
+// it before the first Feed; a nil registry is a no-op.
+func (rp *RatioPartitioner) Instrument(reg *obs.Registry) {
+	rp.o = newPartitionerObs(reg, "stream.ratio")
+	instrumentSampler(rp.cur, reg, fmt.Sprintf("p%d", rp.curIdx))
+}
+
 // open starts the next partition's sampler.
 func (rp *RatioPartitioner) open() error {
 	s := rp.factory(rp.curIdx, 0)
@@ -220,6 +308,7 @@ func (rp *RatioPartitioner) open() error {
 		return fmt.Errorf("stream: sampler %T does not expose SampleSize", s)
 	}
 	rp.cur = sized
+	instrumentSampler(sized, rp.o.reg, fmt.Sprintf("p%d", rp.curIdx))
 	return nil
 }
 
@@ -236,6 +325,7 @@ func (rp *RatioPartitioner) Feed(v int64) error {
 			return fmt.Errorf("stream: ratio cut: %w", err)
 		}
 		rp.done = append(rp.done, s)
+		rp.o.cut(rp.curIdx, s)
 		rp.curIdx++
 		return rp.open()
 	}
@@ -251,6 +341,7 @@ func (rp *RatioPartitioner) Finalize() ([]*core.Sample[int64], error) {
 			return nil, err
 		}
 		rp.done = append(rp.done, s)
+		rp.o.cut(rp.curIdx, s)
 	}
 	return rp.done, nil
 }

@@ -1,0 +1,85 @@
+package warehouse
+
+import (
+	"samplewh/internal/obs"
+)
+
+// instrumentable is satisfied by samplers that accept metric routing (all of
+// the core samplers do). NewSampler uses it so the warehouse can instrument
+// whatever sampler family the data set's configuration selects.
+type instrumentable interface {
+	Instrument(reg *obs.Registry, partition string)
+}
+
+// whObs bundles the warehouse's cached metric handles. The zero value (all
+// nil) makes every recording call a no-op; Warehouse.Instrument swaps in a
+// live bundle.
+//
+// Metric names (see README.md §Observability):
+//
+//	warehouse.rollins / .rollouts / .attaches    partition lifecycle (counters)
+//	warehouse.merges                             merged samples produced (counter)
+//	warehouse.errors                             failed operations (counter)
+//	warehouse.rollin_sample_size                 histogram of rolled-in sizes
+//	warehouse.merge_inputs                       histogram of merge fan-in
+//	warehouse.merge_ns                           merge latency histogram
+//	warehouse.<dataset>.partitions               live partition count (gauge)
+type whObs struct {
+	reg *obs.Registry
+
+	rollIns  *obs.Counter
+	rollOuts *obs.Counter
+	attaches *obs.Counter
+	merges   *obs.Counter
+	errors   *obs.Counter
+
+	rollInSize  *obs.Histogram
+	mergeInputs *obs.Histogram
+	mergeNS     *obs.Histogram
+}
+
+// newWHObs caches the warehouse metric handles; nil registry → no-op bundle.
+func newWHObs(r *obs.Registry) whObs {
+	return whObs{
+		reg:         r,
+		rollIns:     r.Counter("warehouse.rollins"),
+		rollOuts:    r.Counter("warehouse.rollouts"),
+		attaches:    r.Counter("warehouse.attaches"),
+		merges:      r.Counter("warehouse.merges"),
+		errors:      r.Counter("warehouse.errors"),
+		rollInSize:  r.Histogram("warehouse.rollin_sample_size"),
+		mergeInputs: r.Histogram("warehouse.merge_inputs"),
+		mergeNS:     r.Histogram("warehouse.merge_ns"),
+	}
+}
+
+// fail records one failed warehouse operation: the error counter plus (when
+// tracing) an EvError event carrying the operation and message.
+func (o *whObs) fail(op, dataset, partition string, err error) {
+	o.errors.Inc()
+	if o.reg.Tracing() {
+		o.reg.Emit(obs.Event{
+			Type:      obs.EvError,
+			Component: "warehouse",
+			Dataset:   dataset,
+			Partition: partition,
+			Labels:    map[string]string{"op": op, "error": err.Error()},
+		})
+	}
+}
+
+// partitionEvent emits one partition-lifecycle event (EvRollIn/EvRollOut)
+// when tracing is enabled.
+func (o *whObs) partitionEvent(typ, dataset, partition string, labels map[string]string, values map[string]int64) {
+	if !o.reg.Tracing() {
+		return
+	}
+	o.reg.Emit(obs.Event{
+		Type:      typ,
+		Component: "warehouse",
+		Dataset:   dataset,
+		Partition: partition,
+		Labels:    labels,
+		Values:    values,
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"samplewh/internal/core"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 	"samplewh/internal/storage"
 )
@@ -95,6 +96,7 @@ type Warehouse[V comparable] struct {
 	store storage.Store[V]
 	rng   *randx.RNG
 	sets  map[string]*dataset
+	o     whObs
 }
 
 type dataset struct {
@@ -110,6 +112,17 @@ func New[V comparable](store storage.Store[V], seed uint64) *Warehouse[V] {
 		rng:   randx.New(seed),
 		sets:  make(map[string]*dataset),
 	}
+}
+
+// Instrument routes the warehouse's metrics and events into reg: partition
+// lifecycle counters, merge latency, per-dataset partition gauges, and
+// samplers handed out by NewSampler. A nil registry reverts to the no-op
+// state. Instrument the underlying store separately (stores are shared
+// resources the warehouse does not own).
+func (w *Warehouse[V]) Instrument(reg *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.o = newWHObs(reg)
 }
 
 // CreateDataset registers a data set. It errors if the name is empty,
@@ -166,19 +179,28 @@ func (w *Warehouse[V]) NewSampler(dataset string, expectedN int64) (core.Sampler
 		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
 	src := w.rng.Split()
+	var smp core.Sampler[V]
 	switch ds.cfg.Algorithm {
 	case AlgHB:
 		if expectedN < 1 {
 			return nil, fmt.Errorf("warehouse: AlgHB requires expectedN >= 1, got %d", expectedN)
 		}
-		return core.NewHB[V](ds.cfg.Core, expectedN, src), nil
+		smp = core.NewHB[V](ds.cfg.Core, expectedN, src)
 	case AlgHR:
-		return core.NewHR[V](ds.cfg.Core, src), nil
+		smp = core.NewHR[V](ds.cfg.Core, src)
 	case AlgSB:
-		return core.NewSB[V](ds.cfg.Core, ds.cfg.SBRate, src), nil
+		smp = core.NewSB[V](ds.cfg.Core, ds.cfg.SBRate, src)
 	default:
 		return nil, fmt.Errorf("warehouse: invalid algorithm %v", ds.cfg.Algorithm)
 	}
+	if w.o.reg != nil {
+		if in, ok := smp.(instrumentable); ok {
+			// The partition ID is only chosen at RollIn time, so the sampler
+			// events carry just the component name.
+			in.Instrument(w.o.reg, "")
+		}
+	}
+	return smp, nil
 }
 
 // RollIn stores the finalized sample of a new partition. Partition IDs must
@@ -211,9 +233,19 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 			s.Config, ds.cfg.Core)
 	}
 	if err := w.store.Put(w.key(dataset, partitionID), s); err != nil {
+		err = fmt.Errorf("warehouse: roll-in %s/%s: %w", dataset, partitionID, err)
+		w.o.fail("roll-in", dataset, partitionID, err)
 		return err
 	}
 	ds.partitions = append(ds.partitions, partitionID)
+	w.o.rollIns.Inc()
+	w.o.rollInSize.Observe(s.Size())
+	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
+	w.o.partitionEvent(obs.EvRollIn, dataset, partitionID, nil, map[string]int64{
+		"sample_size": s.Size(),
+		"parent_size": s.ParentSize,
+		"footprint":   s.Footprint(),
+	})
 	return nil
 }
 
@@ -226,6 +258,8 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 	}
 	s, err := w.store.Get(w.key(dataset, partitionID))
 	if err != nil {
+		err = fmt.Errorf("warehouse: attach %s/%s: %w", dataset, partitionID, err)
+		w.o.fail("attach", dataset, partitionID, err)
 		return err
 	}
 	if err := s.Validate(); err != nil {
@@ -248,6 +282,14 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 			s.Config, ds.cfg.Core)
 	}
 	ds.partitions = append(ds.partitions, partitionID)
+	w.o.attaches.Inc()
+	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
+	w.o.partitionEvent(obs.EvRollIn, dataset, partitionID,
+		map[string]string{"mode": "attach"}, map[string]int64{
+			"sample_size": s.Size(),
+			"parent_size": s.ParentSize,
+			"footprint":   s.Footprint(),
+		})
 	return nil
 }
 
@@ -271,9 +313,14 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 		return fmt.Errorf("warehouse: partition %q not found in %q", partitionID, dataset)
 	}
 	if err := w.store.Delete(w.key(dataset, partitionID)); err != nil {
+		err = fmt.Errorf("warehouse: roll-out %s/%s: %w", dataset, partitionID, err)
+		w.o.fail("roll-out", dataset, partitionID, err)
 		return err
 	}
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
+	w.o.rollOuts.Inc()
+	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
+	w.o.partitionEvent(obs.EvRollOut, dataset, partitionID, nil, nil)
 	return nil
 }
 
@@ -311,7 +358,11 @@ func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sampl
 	if !ok {
 		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
-	return w.store.Get(w.key(dataset, partitionID))
+	s, err := w.store.Get(w.key(dataset, partitionID))
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: load %s/%s: %w", dataset, partitionID, err)
+	}
+	return s, nil
 }
 
 // MergedSample produces a uniform sample of the union of the named
@@ -345,6 +396,8 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 		seen[id] = true
 		s, err := w.store.Get(w.key(dataset, id))
 		if err != nil {
+			err = fmt.Errorf("warehouse: merge %s: load %s: %w", dataset, id, err)
+			w.o.fail("merge", dataset, id, err)
 			return nil, err
 		}
 		samples = append(samples, s)
@@ -354,14 +407,39 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 	src := w.rng.Split()
 	w.mu.Unlock()
 
+	t := w.o.mergeNS.Start()
+	var merged *core.Sample[V]
+	var err error
 	switch ds.cfg.Algorithm {
 	case AlgSB:
-		return core.MergeTree(samples, core.SBMerge[V], src)
+		merged, err = core.MergeTree(samples, core.SBMerge[V], src)
 	case AlgHB:
-		return core.MergeTree(samples, core.HBMerge[V], src)
+		merged, err = core.MergeTree(samples, core.HBMerge[V], src)
 	default:
-		return core.MergeTree(samples, core.HRMerge[V], src)
+		merged, err = core.MergeTree(samples, core.HRMerge[V], src)
 	}
+	ns := t.Stop()
+	if err != nil {
+		err = fmt.Errorf("warehouse: merge %s: %w", dataset, err)
+		w.o.fail("merge", dataset, "", err)
+		return nil, err
+	}
+	w.o.merges.Inc()
+	w.o.mergeInputs.Observe(int64(len(samples)))
+	if w.o.reg.Tracing() {
+		w.o.reg.Emit(obs.Event{
+			Type:      obs.EvMerge,
+			Component: "warehouse",
+			Dataset:   dataset,
+			Values: map[string]int64{
+				"inputs":      int64(len(samples)),
+				"sample_size": merged.Size(),
+				"parent_size": merged.ParentSize,
+				"ns":          ns,
+			},
+		})
+	}
+	return merged, nil
 }
 
 // Window produces a uniform sample of the union of the most recent n

@@ -1,0 +1,141 @@
+// Tests for the observability surface at the public API level: concurrent
+// instrumented use under the race detector, and the default-registry
+// helpers.
+package samplewh
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrency drives several instrumented samplers and warehouse
+// roll-ins from parallel goroutines while other goroutines continuously
+// snapshot and render the registry. Run under -race, this locks in the
+// concurrency contract of the obs package: all writers are atomic, and
+// Snapshot/String observe a consistent copy.
+func TestMetricsConcurrency(t *testing.T) {
+	reg := NewMetrics()
+	sink := NewMemorySink(128)
+	reg.SetSink(sink)
+
+	w := NewWarehouse(NewMemStore(), 7)
+	if err := w.CreateDataset("events", DatasetConfig{
+		Algorithm: AlgHR,
+		Core:      ConfigForNF(256),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Instrument(reg)
+
+	const writers = 8
+	const perWriter = 2000
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					snap := reg.Snapshot()
+					_ = snap.String()
+					_ = reg.String()
+					_ = snap.JSON()
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			smp, err := w.NewSampler("events", perWriter)
+			if err != nil {
+				errs <- err
+				return
+			}
+			base := int64(g * perWriter)
+			for i := int64(0); i < perWriter; i++ {
+				smp.Feed(base + i)
+			}
+			s, err := smp.Finalize()
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- w.RollIn("events", fmt.Sprintf("p%d", g), s)
+		}(g)
+	}
+	writersWG.Wait()
+	close(done)
+	readers.Wait()
+	for g := 0; g < writers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["warehouse.rollins"]; got != writers {
+		t.Errorf("warehouse.rollins = %d, want %d", got, writers)
+	}
+	if got := snap.Counters["core.hr.items"]; got != writers*perWriter {
+		t.Errorf("core.hr.items = %d, want %d", got, writers*perWriter)
+	}
+	if got := snap.Gauges["warehouse.events.partitions"]; got != writers {
+		t.Errorf("partitions gauge = %d, want %d", got, writers)
+	}
+	if h := snap.Histograms["warehouse.rollin_sample_size"]; h.Count != writers {
+		t.Errorf("rollin_sample_size count = %d, want %d", h.Count, writers)
+	}
+	// The sink saw every roll-in (ring capacity 128 > total event volume is
+	// not guaranteed, so check the monotone total instead).
+	if sink.Total() < writers {
+		t.Errorf("sink total = %d, want >= %d", sink.Total(), writers)
+	}
+}
+
+// TestDefaultMetricsRegistry covers the package-level registry convenience:
+// DefaultMetrics is a usable shared registry and Snapshot reads it.
+func TestDefaultMetricsRegistry(t *testing.T) {
+	DefaultMetrics().Counter("test.default.pings").Inc()
+	if got := Snapshot().Counters["test.default.pings"]; got < 1 {
+		t.Errorf("default-registry counter missing from Snapshot(): %d", got)
+	}
+	if s := Snapshot().String(); !strings.Contains(s, "test.default.pings") {
+		t.Errorf("Snapshot().String() missing counter:\n%s", s)
+	}
+}
+
+// TestInstrumentStore verifies the generic store-instrumentation hook
+// reports whether the store supports it.
+func TestInstrumentStore(t *testing.T) {
+	reg := NewMetrics()
+	st := NewMemStore()
+	if !InstrumentStore(st, reg) {
+		t.Fatal("MemStore should be instrumentable")
+	}
+	smp := NewHRSampler[int64](ConfigForNF(16), 1)
+	for i := int64(0); i < 100; i++ {
+		smp.Feed(i)
+	}
+	s, err := smp.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", s); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("storage.mem.puts").Value(); got != 1 {
+		t.Errorf("storage.mem.puts = %d, want 1", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"samplewh/internal/estimate"
 	"samplewh/internal/fullwh"
 	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 	"samplewh/internal/storage"
 	"samplewh/internal/stream"
@@ -381,6 +382,78 @@ type RatioPartitioner = stream.RatioPartitioner
 // NewRatioPartitioner builds a ratio-triggered partitioner.
 func NewRatioPartitioner(minFraction float64, minSize int64, factory stream.SamplerFactory) (*RatioPartitioner, error) {
 	return stream.NewRatioPartitioner(minFraction, minSize, factory)
+}
+
+// Metrics is the observability registry: atomic counters, gauges, bounded
+// latency histograms and structured event tracing, with nil-safe no-op
+// semantics throughout (a nil *Metrics leaves every component
+// uninstrumented at no measurable cost). Route a component into a registry
+// with its Instrument method — samplers, warehouses, stores, splitters and
+// partitioners all have one.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time copy of every metric in a registry; it
+// marshals to expvar-style JSON and renders a human-readable report via
+// String.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSummary is the exported distribution snapshot of one latency or
+// size histogram.
+type HistogramSummary = obs.HistogramSummary
+
+// Event is one structured trace record (phase transition, purge, roll-in,
+// merge, ...).
+type Event = obs.Event
+
+// EventSink receives emitted events; implementations must be safe for
+// concurrent use and must not block.
+type EventSink = obs.EventSink
+
+// FuncSink adapts a function to the EventSink interface.
+type FuncSink = obs.FuncSink
+
+// MemorySink retains the most recent events in a fixed-capacity ring buffer.
+type MemorySink = obs.MemorySink
+
+// NewMemorySink returns a sink retaining up to capacity events.
+func NewMemorySink(capacity int) *MemorySink { return obs.NewMemorySink(capacity) }
+
+// Event types emitted by the instrumented stack.
+const (
+	EvPhaseTransition = obs.EvPhaseTransition
+	EvPurge           = obs.EvPurge
+	EvFinalize        = obs.EvFinalize
+	EvRollIn          = obs.EvRollIn
+	EvRollOut         = obs.EvRollOut
+	EvMerge           = obs.EvMerge
+	EvPartitionCut    = obs.EvPartitionCut
+	EvError           = obs.EvError
+)
+
+// defaultMetrics backs DefaultMetrics and Snapshot for single-registry
+// programs.
+var defaultMetrics = obs.NewRegistry()
+
+// DefaultMetrics returns the package-level registry, for programs that want
+// one shared registry without plumbing. Components must still be routed into
+// it explicitly via their Instrument methods.
+func DefaultMetrics() *Metrics { return defaultMetrics }
+
+// Snapshot copies the current state of the package-level registry.
+func Snapshot() MetricsSnapshot { return defaultMetrics.Snapshot() }
+
+// InstrumentStore routes a store's metrics into reg when the concrete store
+// supports instrumentation (the built-in memory and file stores do). It
+// reports whether the store was instrumented.
+func InstrumentStore[V comparable](s storage.Store[V], reg *Metrics) bool {
+	in, ok := s.(interface{ Instrument(*obs.Registry) })
+	if ok {
+		in.Instrument(reg)
+	}
+	return ok
 }
 
 // WorkloadSpec describes a synthetic data set (the paper's unique, uniform
