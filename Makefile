@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench fuzz
 
 check: fmt vet build test
 
@@ -25,3 +25,10 @@ test:
 # The figure benches and the instrumentation-overhead comparison.
 bench:
 	go test -run XXX -bench . -benchtime 1s .
+
+# Short fuzz pass over the binary sample codec (decode must never panic and
+# must reject corrupted inputs). Override FUZZTIME for longer campaigns.
+FUZZTIME ?= 15s
+
+fuzz:
+	go test -run NONE -fuzz FuzzDecodeSample -fuzztime $(FUZZTIME) ./internal/storage

@@ -9,7 +9,8 @@
 //	fig15-16    final merged sample sizes for HB / HR
 //	concise     §3.3 concise-sampling non-uniformity demonstration
 //	uniformity  chi-square uniformity audit of all three pipelines
-//	all         everything above
+//	faults      fault-injection drill: transient storm + bit-rot degradation
+//	all         everything above except faults
 //
 // The defaults run a laptop-scale configuration; pass -full for the paper's
 // original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
@@ -63,7 +64,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -75,6 +76,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base RNG seed")
 		parallelism = flag.Int("parallelism", 0, "sampler goroutines (0 = GOMAXPROCS)")
 		trials      = flag.Int("trials", 0, "trials for concise/uniformity experiments")
+		faultRate   = flag.Float64("fault-rate", 0.2, "faults experiment: transient failure probability per store op")
+		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
 	)
@@ -168,6 +171,9 @@ func main() {
 				}
 			}
 			return nil
+		case "faults":
+			r, err := experiments.FaultTolerance(*faultRate, *faultCrpt, 16, opt)
+			return emit(name, r, err)
 		case "uniformity":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {
 				r, err := experiments.UniformityAudit(alg, *trials, opt)

@@ -61,9 +61,12 @@ func main() {
 	if *metrics {
 		cli.reg = obs.NewRegistry()
 	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	// fsck exists to repair warehouses that no longer open cleanly, so it
+	// must not be blocked by the very damage it is meant to report.
+	cli.lenient = cmd == "fsck"
 	err := cli.open()
 	if err == nil {
-		cmd, args := flag.Arg(0), flag.Args()[1:]
 		switch cmd {
 		case "create":
 			err = cli.create(args)
@@ -79,6 +82,8 @@ func main() {
 			err = cli.estimate(args)
 		case "rollout":
 			err = cli.rollout(args)
+		case "fsck":
+			err = cli.fsck(args)
 		default:
 			usage()
 			os.Exit(2)
@@ -104,7 +109,8 @@ commands:
   info     -ds NAME [-part ID]
   merge    -ds NAME [-part ID1,ID2,...]
   estimate -ds NAME [-part IDS] -q QUERY   (avg | sum | median | distinct | topk:K | count:LO..HI)
-  rollout  -ds NAME -part ID`)
+  rollout  -ds NAME -part ID
+  fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog)`)
 }
 
 func fatal(err error) {
@@ -113,10 +119,20 @@ func fatal(err error) {
 }
 
 type cli struct {
-	dir string
-	cat catalog
-	wh  *warehouse.Warehouse[int64]
-	reg *obs.Registry // non-nil when -metrics is set
+	dir     string
+	cat     catalog
+	st      *storage.FileStore[int64]
+	wh      *warehouse.Warehouse[int64]
+	reg     *obs.Registry // non-nil when -metrics is set
+	lenient bool          // tolerate attach failures at open (fsck)
+	broken  []brokenPartition
+}
+
+// brokenPartition records a cataloged partition that failed to attach during
+// a lenient open, for fsck to report.
+type brokenPartition struct {
+	key string // dataset/partition
+	err error
 }
 
 // catalogPath returns the registry file location.
@@ -128,7 +144,8 @@ func (c *cli) open() error {
 	if err != nil {
 		return err
 	}
-	st.Instrument(c.reg)                          // nil reg = uninstrumented
+	st.Instrument(c.reg) // nil reg = uninstrumented
+	c.st = st
 	c.wh = warehouse.New[int64](st, 0x5357434c49) // fixed base seed; per-partition seeds come from the catalog
 	c.wh.Instrument(c.reg)
 	c.cat.Datasets = map[string]*catalogEntry{}
@@ -148,6 +165,10 @@ func (c *cli) open() error {
 		}
 		for _, p := range e.Partitions {
 			if err := c.wh.Attach(name, p); err != nil {
+				if c.lenient {
+					c.broken = append(c.broken, brokenPartition{key: name + "/" + p, err: err})
+					continue
+				}
 				return fmt.Errorf("attach %s/%s: %w", name, p, err)
 			}
 		}
@@ -229,6 +250,14 @@ func (c *cli) ingest(args []string) error {
 	e, ok := c.cat.Datasets[*ds]
 	if !ok {
 		return fmt.Errorf("ingest: unknown data set %q", *ds)
+	}
+	// The warehouse treats a duplicate roll-in as an idempotent replace (for
+	// crash-retry convergence); at the CLI a re-used partition ID is almost
+	// always operator error, so reject it here.
+	for _, p := range e.Partitions {
+		if p == *part {
+			return fmt.Errorf("ingest: partition %s/%s already exists (rollout first to replace)", *ds, *part)
+		}
 	}
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -482,19 +511,152 @@ func (c *cli) rollout(args []string) error {
 	if *ds == "" || *part == "" {
 		return fmt.Errorf("rollout: -ds and -part required")
 	}
-	if err := c.wh.RollOut(*ds, *part); err != nil {
-		return err
+	// The warehouse-level roll-out is an idempotent no-op on a missing
+	// partition; surface the operator-facing error from the catalog instead.
+	e, ok := c.cat.Datasets[*ds]
+	if !ok {
+		return fmt.Errorf("rollout: unknown data set %q", *ds)
 	}
-	e := c.cat.Datasets[*ds]
+	idx := -1
 	for i, p := range e.Partitions {
 		if p == *part {
-			e.Partitions = append(e.Partitions[:i], e.Partitions[i+1:]...)
+			idx = i
 			break
 		}
 	}
+	if idx < 0 {
+		return fmt.Errorf("rollout: partition %s/%s not found", *ds, *part)
+	}
+	if err := c.wh.RollOut(*ds, *part); err != nil {
+		return err
+	}
+	e.Partitions = append(e.Partitions[:idx], e.Partitions[idx+1:]...)
 	if err := c.save(); err != nil {
 		return err
 	}
 	fmt.Printf("rolled out %s/%s\n", *ds, *part)
 	return nil
+}
+
+// fsck verifies the warehouse on disk: stale temp files from killed writes
+// are removed, every sample is decode-verified (corrupt files are renamed to
+// ".corrupt" siblings by the store), and the catalog is reconciled against
+// the surviving samples. With -fix, catalog entries whose samples are gone
+// (dangling) are dropped; orphan samples are reported but never deleted.
+func (c *cli) fsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	fix := fs.Bool("fix", false, "repair: drop dangling catalog entries")
+	fs.Parse(args)
+
+	// Pass 1: sweep stale temp files left by killed mid-Put processes. They
+	// are invisible to Get/Keys, so removal is always safe.
+	var tmps int
+	root := filepath.Join(c.dir, "samples")
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			tmps++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("fsck: sweep: %w", err)
+	}
+	if tmps > 0 {
+		fmt.Printf("removed %d stale temp file(s)\n", tmps)
+	}
+
+	// Pass 2: decode-verify every stored sample. A failed Get quarantines the
+	// file as a side effect, so afterwards the key space holds only readable
+	// samples.
+	keys, err := c.st.Keys("")
+	if err != nil {
+		return fmt.Errorf("fsck: list: %w", err)
+	}
+	var corrupt []string
+	readable := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if _, err := c.st.Get(k); err != nil {
+			if storage.IsCorrupt(err) {
+				corrupt = append(corrupt, k)
+				continue
+			}
+			return fmt.Errorf("fsck: verify %q: %w", k, err)
+		}
+		readable[k] = true
+	}
+	// Partitions that failed to attach during the lenient open: corrupt ones
+	// were quarantined there (so Keys no longer lists them); the rest
+	// surface as dangling in pass 3.
+	for _, b := range c.broken {
+		if storage.IsCorrupt(b.err) {
+			corrupt = append(corrupt, b.key)
+		}
+	}
+	sort.Strings(corrupt)
+	for _, k := range corrupt {
+		fmt.Printf("corrupt: %s (quarantined)\n", k)
+	}
+
+	// Pass 3: reconcile the catalog. Dangling entries point at samples that
+	// no longer exist (crashed ingest, quarantined corruption); orphans are
+	// samples no catalog entry claims (crashed rollout or foreign files).
+	var dangling, orphans []string
+	claimed := make(map[string]bool)
+	for name, e := range c.cat.Datasets {
+		kept := e.Partitions[:0]
+		for _, p := range e.Partitions {
+			k := name + "/" + p
+			if readable[k] {
+				claimed[k] = true
+				kept = append(kept, p)
+			} else {
+				dangling = append(dangling, k)
+				if !*fix {
+					kept = append(kept, p)
+				}
+			}
+		}
+		e.Partitions = kept
+	}
+	for _, k := range keys {
+		if readable[k] && !claimed[k] {
+			orphans = append(orphans, k)
+		}
+	}
+	sort.Strings(dangling)
+	sort.Strings(orphans)
+	for _, k := range dangling {
+		if *fix {
+			fmt.Printf("dangling: %s (dropped from catalog)\n", k)
+		} else {
+			fmt.Printf("dangling: %s (catalog entry without sample; -fix drops it)\n", k)
+		}
+	}
+	for _, k := range orphans {
+		fmt.Printf("orphan: %s (sample without catalog entry)\n", k)
+	}
+	if *fix && len(dangling) > 0 {
+		if err := c.save(); err != nil {
+			return fmt.Errorf("fsck: save catalog: %w", err)
+		}
+	}
+
+	problems := len(corrupt) + len(orphans)
+	if !*fix {
+		problems += len(dangling)
+	}
+	if problems == 0 {
+		fmt.Println("clean")
+		return nil
+	}
+	return fmt.Errorf("fsck: %d problem(s) found", problems)
 }

@@ -254,3 +254,156 @@ func TestCLIEquiDepthQuery(t *testing.T) {
 		}
 	}
 }
+
+func TestCLIIngestRejectsDuplicatePartition(t *testing.T) {
+	c := newCLI(t, t.TempDir())
+	if err := c.create([]string{"-ds", "d", "-nf", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	vals := writeValues(t, t.TempDir(), 2000)
+	if err := c.ingest([]string{"-ds", "d", "-part", "p1", "-in", vals}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ingest([]string{"-ds", "d", "-part", "p1", "-in", vals}); err == nil {
+		t.Fatal("duplicate partition ingest accepted")
+	}
+}
+
+func TestCLIFsckCleanAfterKilledPut(t *testing.T) {
+	dir := t.TempDir()
+	c := newCLI(t, dir)
+	if err := c.create([]string{"-ds", "d", "-nf", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	vals := writeValues(t, t.TempDir(), 2000)
+	if err := c.ingest([]string{"-ds", "d", "-part", "p1", "-in", vals}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a process killed mid-Put: an unrenamed temp file.
+	tmp := filepath.Join(dir, "samples", "d", ".tmp-9999999")
+	if err := os.WriteFile(tmp, []byte{0x53, 0x57, 0x48}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.fsck(nil); err != nil {
+		t.Fatalf("fsck after killed put: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale temp file not swept")
+	}
+	// The real sample is untouched.
+	if _, err := c.wh.PartitionSample("d", "p1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIFsckQuarantineAndFix(t *testing.T) {
+	dir := t.TempDir()
+	c := newCLI(t, dir)
+	if err := c.create([]string{"-ds", "d", "-nf", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	vals := writeValues(t, t.TempDir(), 2000)
+	for _, p := range []string{"p1", "p2"} {
+		if err := c.ingest([]string{"-ds", "d", "-part", p, "-in", vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt p1's sample on disk.
+	path := filepath.Join(dir, "samples", "d", "p1.sample")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -fix: the corruption is found (and quarantined), reported as a
+	// problem.
+	if err := c.fsck(nil); err == nil {
+		t.Fatal("fsck missed the corruption")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+
+	// With -fix: the now-dangling catalog entry is dropped.
+	if err := c.fsck([]string{"-fix"}); err != nil {
+		t.Fatalf("fsck -fix: %v", err)
+	}
+	if parts := c.cat.Datasets["d"].Partitions; len(parts) != 1 || parts[0] != "p2" {
+		t.Fatalf("catalog after fix = %v", parts)
+	}
+	// And a reopened CLI is clean.
+	c2 := newCLI(t, dir)
+	if err := c2.fsck(nil); err != nil {
+		t.Fatalf("fsck after fix: %v", err)
+	}
+}
+
+// TestCLIFsckOpensDamagedWarehouse is the real-world repair path: a fresh
+// swcli invocation against a warehouse with a corrupt partition. A strict
+// open fails at attach-validation, so fsck must open leniently — otherwise
+// the repair tool is blocked by the damage it exists to fix.
+func TestCLIFsckOpensDamagedWarehouse(t *testing.T) {
+	dir := t.TempDir()
+	c := newCLI(t, dir)
+	if err := c.create([]string{"-ds", "d", "-nf", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	vals := writeValues(t, t.TempDir(), 2000)
+	for _, p := range []string{"p1", "p2"} {
+		if err := c.ingest([]string{"-ds", "d", "-part", p, "-in", vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "samples", "d", "p1.sample")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A strict open (every other subcommand) fails at attach-validation.
+	strict := &cli{dir: dir}
+	if err := strict.open(); err == nil {
+		t.Fatal("strict open of a damaged warehouse succeeded")
+	}
+
+	// A lenient open (fsck) succeeds and records the broken partition; the
+	// corrupt attach quarantined the file, so fsck reports it and -fix on a
+	// second invocation clears the dangling entry.
+	lenient := &cli{dir: dir, lenient: true}
+	if err := lenient.open(); err != nil {
+		t.Fatalf("lenient open: %v", err)
+	}
+	if len(lenient.broken) != 1 || lenient.broken[0].key != "d/p1" {
+		t.Fatalf("broken = %+v", lenient.broken)
+	}
+	if err := lenient.fsck(nil); err == nil {
+		t.Fatal("fsck missed the corrupt partition")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+
+	fixer := &cli{dir: dir, lenient: true}
+	if err := fixer.open(); err != nil {
+		t.Fatalf("reopen for -fix: %v", err)
+	}
+	if err := fixer.fsck([]string{"-fix"}); err != nil {
+		t.Fatalf("fsck -fix: %v", err)
+	}
+	// The warehouse opens strictly again and still answers queries.
+	healed := newCLI(t, dir)
+	if parts := healed.cat.Datasets["d"].Partitions; len(parts) != 1 || parts[0] != "p2" {
+		t.Fatalf("catalog after fix = %v", parts)
+	}
+	if err := healed.estimate([]string{"-ds", "d", "-q", "avg"}); err != nil {
+		t.Fatalf("estimate after repair: %v", err)
+	}
+}

@@ -29,6 +29,18 @@ const (
 	EvPartitionCut = "partition_cut"
 	// EvError: an operation failed. Labels: "op", "error".
 	EvError = "error"
+	// EvRetry: a store operation is being re-attempted after a transient
+	// failure. Labels: "op", "key", "error". Values: "attempt".
+	EvRetry = "retry"
+	// EvQuarantine: a corrupt sample file was renamed aside so it will
+	// never be half-decoded again. Labels: "key".
+	EvQuarantine = "quarantine"
+	// EvPartialMerge: a degraded merge skipped unreadable partitions.
+	// Values: "requested", "merged", "skipped".
+	EvPartialMerge = "partial_merge"
+	// EvRecovery: a warehouse rebuilt its state from the durable manifest.
+	// Values: "datasets", "partitions", "dangling", "orphans".
+	EvRecovery = "recovery"
 )
 
 // Event is one structured trace record. Component identifies the emitting

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// BlobStore is the optional byte-level side channel a Store may provide for
+// small metadata documents — the warehouse persists its catalog manifest
+// through it. Blob names use the same escaping as sample keys but a distinct
+// file extension, so blobs and samples never collide and Keys never lists
+// blobs. Both built-in stores implement it; wrappers (RetryStore, the fault
+// injector) forward it and report ErrBlobsUnsupported when their inner store
+// lacks it.
+type BlobStore interface {
+	// PutBlob stores data under name, replacing any existing blob, with the
+	// same atomicity guarantee as Put.
+	PutBlob(name string, data []byte) error
+	// GetBlob returns the blob stored under name, or an error satisfying
+	// IsNotFound if absent. Callers own the returned slice.
+	GetBlob(name string) ([]byte, error)
+}
+
+// ErrBlobsUnsupported is returned by store wrappers whose underlying store
+// does not implement BlobStore.
+var ErrBlobsUnsupported = errors.New("storage: store does not support blobs")
+
+// PutBlob implements BlobStore.
+func (s *MemStore[V]) PutBlob(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty blob name")
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.blobs[name] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// GetBlob implements BlobStore.
+func (s *MemStore[V]) GetBlob(name string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.blobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{Key: name}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// PutBlob implements BlobStore with the same atomic temp-file + rename path
+// as Put.
+func (s *FileStore[V]) PutBlob(name string, data []byte) error {
+	path, err := s.pathForExt(name, blobExt)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeAtomic(path, data); err != nil {
+		return fmt.Errorf("storage: put blob %q: %w", name, err)
+	}
+	return nil
+}
+
+// GetBlob implements BlobStore.
+func (s *FileStore[V]) GetBlob(name string) ([]byte, error) {
+	path, err := s.pathForExt(name, blobExt)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, &NotFoundError{Key: name, Err: err}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: get blob %q: read: %w", name, err)
+	}
+	return data, nil
+}
+
+var (
+	_ BlobStore = (*MemStore[int64])(nil)
+	_ BlobStore = (*FileStore[int64])(nil)
+)

@@ -9,6 +9,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"samplewh/internal/core"
@@ -65,15 +66,23 @@ func (StringCodec) Read(buf []byte) (string, int, error) {
 
 // Codec format constants.
 const (
-	magic   = 0x53574831 // "SWH1"
-	version = 1
+	magic = 0x53574831 // "SWH1"
+	// version 2 appends a CRC32C checksum of the whole payload; version 1
+	// (no checksum) is still decoded for files written before the bump.
+	version       = 2
+	legacyVersion = 1
+	checksumSize  = 4
 )
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodeSample serializes a sample. The layout is:
 //
 //	magic u32 | version u8 | kind u8 | parentSize varint | q float64 |
 //	footprint varint | valueBytes varint | countBytes varint |
-//	exceedProb float64 | entryCount uvarint | {value, count varint}...
+//	exceedProb float64 | entryCount uvarint | {value, count varint}... |
+//	crc32c u32 (over all preceding bytes)
 func EncodeSample[V comparable](s *core.Sample[V], vc ValueCodec[V]) ([]byte, error) {
 	if s == nil || s.Hist == nil {
 		return nil, fmt.Errorf("storage: nil sample")
@@ -88,12 +97,12 @@ func EncodeSample[V comparable](s *core.Sample[V], vc ValueCodec[V]) ([]byte, er
 	buf = binary.AppendVarint(buf, s.Config.SizeModel.CountBytes)
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Config.ExceedProb))
 	buf = binary.AppendUvarint(buf, uint64(s.Hist.Distinct()))
-	var encErr error
 	s.Hist.Each(func(v V, c int64) {
 		buf = vc.Append(buf, v)
 		buf = binary.AppendVarint(buf, c)
 	})
-	return buf, encErr
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf, nil
 }
 
 // DecodeSample parses a sample serialized by EncodeSample.
@@ -107,7 +116,23 @@ func DecodeSample[V comparable](buf []byte, vc ValueCodec[V]) (*core.Sample[V], 
 	if binary.BigEndian.Uint32(buf) != magic {
 		return fail("bad magic")
 	}
-	if buf[4] != version {
+	switch buf[4] {
+	case version:
+		// Verify and strip the trailing checksum before any parsing, so a
+		// bit-flip anywhere is caught even where the varint grammar would
+		// happen to still parse.
+		if len(buf) < 6+checksumSize {
+			return fail("short checksum")
+		}
+		body := buf[:len(buf)-checksumSize]
+		want := binary.BigEndian.Uint32(buf[len(buf)-checksumSize:])
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return fail(fmt.Sprintf("checksum mismatch: computed %08x, stored %08x", got, want))
+		}
+		buf = body
+	case legacyVersion:
+		// Pre-checksum format: parse as-is.
+	default:
 		return fail(fmt.Sprintf("unsupported version %d", buf[4]))
 	}
 	kind := core.Kind(buf[5])

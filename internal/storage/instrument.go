@@ -14,13 +14,17 @@ import (
 //	<kind>.puts / .gets / .deletes   operations (counters)
 //	<kind>.misses                    Get calls that found no key (counter)
 //	<kind>.bytes_written / .bytes_read   encoded sample bytes (counters)
+//	<kind>.quarantines               corrupt files renamed aside (counter)
 //	<kind>.encode_ns / .decode_ns    codec latency histograms
 //	<kind>.put_ns / .get_ns          whole-operation latency histograms
 type storeObs struct {
-	puts    *obs.Counter
-	gets    *obs.Counter
-	deletes *obs.Counter
-	misses  *obs.Counter
+	reg *obs.Registry
+
+	puts        *obs.Counter
+	gets        *obs.Counter
+	deletes     *obs.Counter
+	misses      *obs.Counter
+	quarantines *obs.Counter
 
 	bytesWritten *obs.Counter
 	bytesRead    *obs.Counter
@@ -35,10 +39,12 @@ type storeObs struct {
 // A nil registry yields the all-nil no-op bundle.
 func newStoreObs(r *obs.Registry, kind string) storeObs {
 	return storeObs{
+		reg:          r,
 		puts:         r.Counter(kind + ".puts"),
 		gets:         r.Counter(kind + ".gets"),
 		deletes:      r.Counter(kind + ".deletes"),
 		misses:       r.Counter(kind + ".misses"),
+		quarantines:  r.Counter(kind + ".quarantines"),
 		bytesWritten: r.Counter(kind + ".bytes_written"),
 		bytesRead:    r.Counter(kind + ".bytes_read"),
 		encodeNS:     r.Histogram(kind + ".encode_ns"),

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +9,7 @@ import (
 	"sync"
 
 	"samplewh/internal/core"
+	"samplewh/internal/obs"
 )
 
 // Store is the persistence contract the sample warehouse programs against.
@@ -28,32 +28,19 @@ type Store[V comparable] interface {
 	Keys(prefix string) ([]string, error)
 }
 
-// NotFoundError reports a missing key.
-type NotFoundError struct{ Key string }
-
-// Error implements error.
-func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: key %q not found", e.Key) }
-
-// IsNotFound reports whether err indicates a missing key, unwrapping any
-// context added by callers (the warehouse wraps store errors with the
-// dataset/partition coordinates).
-func IsNotFound(err error) bool {
-	var nf *NotFoundError
-	return errors.As(err, &nf)
-}
-
 // MemStore is an in-memory Store, safe for concurrent use. Samples are
 // stored by reference with defensive clones on both Put and Get so callers
 // can freely mutate (merges consume histograms).
 type MemStore[V comparable] struct {
-	mu sync.RWMutex
-	m  map[string]*core.Sample[V]
-	o  storeObs
+	mu    sync.RWMutex
+	m     map[string]*core.Sample[V]
+	blobs map[string][]byte
+	o     storeObs
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore[V comparable]() *MemStore[V] {
-	return &MemStore[V]{m: make(map[string]*core.Sample[V])}
+	return &MemStore[V]{m: make(map[string]*core.Sample[V]), blobs: make(map[string][]byte)}
 }
 
 // Put implements Store.
@@ -130,29 +117,43 @@ func NewFileStore[V comparable](dir string, codec ValueCodec[V]) (*FileStore[V],
 	return &FileStore[V]{root: dir, codec: codec}, nil
 }
 
-// suffix appended to every sample file.
-const fileExt = ".sample"
+// File suffixes: every sample file, every metadata blob, and the rename
+// target for quarantined corrupt files.
+const (
+	fileExt    = ".sample"
+	blobExt    = ".blob"
+	corruptExt = ".corrupt"
+	tmpPrefix  = ".tmp-"
+)
 
-// pathFor maps a key to a file path, escaping path-hostile characters.
+// pathFor maps a key to a sample file path, escaping path-hostile characters.
 func (s *FileStore[V]) pathFor(key string) (string, error) {
+	return s.pathForExt(key, fileExt)
+}
+
+// pathForExt maps a key to a file path with the given extension.
+func (s *FileStore[V]) pathForExt(key, ext string) (string, error) {
 	if key == "" {
 		return "", fmt.Errorf("storage: empty key")
 	}
 	var b strings.Builder
-	for _, r := range key {
+	for i := 0; i < len(key); i++ {
+		c := key[i]
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '-', r == '_', r == '.', r == '/':
-			b.WriteRune(r)
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == '/':
+			b.WriteByte(c)
 		default:
-			fmt.Fprintf(&b, "%%%04x", r)
+			// Percent-escape byte-wise (URL style) so any UTF-8 key — including
+			// runes beyond U+FFFF — round-trips through keyFor.
+			fmt.Fprintf(&b, "%%%02x", c)
 		}
 	}
 	clean := b.String()
 	if strings.Contains(clean, "..") || strings.HasPrefix(clean, "/") {
 		return "", fmt.Errorf("storage: invalid key %q", key)
 	}
-	return filepath.Join(s.root, clean+fileExt), nil
+	return filepath.Join(s.root, clean+ext), nil
 }
 
 // keyFor inverts pathFor for listing.
@@ -164,11 +165,11 @@ func (s *FileStore[V]) keyFor(path string) (string, error) {
 	rel = strings.TrimSuffix(rel, fileExt)
 	var b strings.Builder
 	for i := 0; i < len(rel); {
-		if rel[i] == '%' && i+4 < len(rel) {
-			var r rune
-			if _, err := fmt.Sscanf(rel[i+1:i+5], "%04x", &r); err == nil {
-				b.WriteRune(r)
-				i += 5
+		if rel[i] == '%' && i+2 < len(rel) {
+			var n int
+			if _, err := fmt.Sscanf(rel[i+1:i+3], "%02x", &n); err == nil {
+				b.WriteByte(byte(n))
+				i += 3
 				continue
 			}
 		}
@@ -176,6 +177,39 @@ func (s *FileStore[V]) keyFor(path string) (string, error) {
 		i++
 	}
 	return b.String(), nil
+}
+
+// writeAtomic writes data to path via temp file + fsync + rename, so a crash
+// at any point leaves either the old file or the new one — never a partial
+// write — visible under path. Callers hold s.mu.
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("mkdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
 }
 
 // Put implements Store with atomic replace.
@@ -194,38 +228,18 @@ func (s *FileStore[V]) Put(key string, smp *core.Sample[V]) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("storage: put %q: mkdir: %w", key, err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("storage: put %q: temp file: %w", key, err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("storage: put %q: write: %w", key, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("storage: put %q: sync: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("storage: put %q: close: %w", key, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("storage: put %q: rename: %w", key, err)
+	if err := writeAtomic(path, data); err != nil {
+		return fmt.Errorf("storage: put %q: %w", key, err)
 	}
 	s.o.puts.Inc()
 	s.o.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. A file whose bytes fail checksum or structural
+// validation is quarantined — renamed to a ".corrupt" sibling so it is never
+// half-decoded again and the key reads as missing afterwards — and the error
+// satisfies IsCorrupt.
 func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
 	t := s.o.getNS.Start()
 	defer t.Stop()
@@ -237,7 +251,7 @@ func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
 	if os.IsNotExist(err) {
 		s.o.gets.Inc()
 		s.o.misses.Inc()
-		return nil, &NotFoundError{Key: key}
+		return nil, &NotFoundError{Key: key, Err: err}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("storage: get %q: read: %w", key, err)
@@ -246,11 +260,31 @@ func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
 	smp, err := DecodeSample(data, s.codec)
 	td.Stop()
 	if err != nil {
-		return nil, fmt.Errorf("storage: get %q: decode: %w", key, err)
+		s.quarantine(key, path)
+		return nil, &CorruptError{Key: key, Err: err}
 	}
 	s.o.gets.Inc()
 	s.o.bytesRead.Add(int64(len(data)))
 	return smp, nil
+}
+
+// quarantine renames a corrupt sample file out of the visible key space.
+func (s *FileStore[V]) quarantine(key, path string) {
+	s.mu.Lock()
+	err := os.Rename(path, path+corruptExt)
+	s.mu.Unlock()
+	if err != nil {
+		// The file may already be gone (concurrent delete); nothing to keep.
+		return
+	}
+	s.o.quarantines.Inc()
+	if s.o.reg.Tracing() {
+		s.o.reg.Emit(obs.Event{
+			Type:      obs.EvQuarantine,
+			Component: "storage.file",
+			Labels:    map[string]string{"key": key},
+		})
+	}
 }
 
 // Delete implements Store.
@@ -259,18 +293,27 @@ func (s *FileStore[V]) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+	s.mu.Lock()
+	err = os.Remove(path)
+	s.mu.Unlock()
+	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("storage: delete %q: %w", key, err)
 	}
 	s.o.deletes.Inc()
 	return nil
 }
 
-// Keys implements Store.
+// Keys implements Store. A missing or freshly-removed root lists as empty
+// rather than erroring, matching MemStore's behavior on an empty store.
 func (s *FileStore[V]) Keys(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []string
 	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // file vanished mid-walk (or the root is gone)
+			}
 			return err
 		}
 		if info.IsDir() || !strings.HasSuffix(path, fileExt) {

@@ -19,6 +19,9 @@ type instrumentable interface {
 //
 //	warehouse.rollins / .rollouts / .attaches    partition lifecycle (counters)
 //	warehouse.merges                             merged samples produced (counter)
+//	warehouse.partial_merges                     degraded merges that skipped partitions (counter)
+//	warehouse.skipped_partitions                 partitions skipped across all partial merges (counter)
+//	warehouse.recoveries                         manifest reconciliations run (counter)
 //	warehouse.errors                             failed operations (counter)
 //	warehouse.rollin_sample_size                 histogram of rolled-in sizes
 //	warehouse.merge_inputs                       histogram of merge fan-in
@@ -27,11 +30,14 @@ type instrumentable interface {
 type whObs struct {
 	reg *obs.Registry
 
-	rollIns  *obs.Counter
-	rollOuts *obs.Counter
-	attaches *obs.Counter
-	merges   *obs.Counter
-	errors   *obs.Counter
+	rollIns           *obs.Counter
+	rollOuts          *obs.Counter
+	attaches          *obs.Counter
+	merges            *obs.Counter
+	partialMerges     *obs.Counter
+	skippedPartitions *obs.Counter
+	recoveries        *obs.Counter
+	errors            *obs.Counter
 
 	rollInSize  *obs.Histogram
 	mergeInputs *obs.Histogram
@@ -41,15 +47,18 @@ type whObs struct {
 // newWHObs caches the warehouse metric handles; nil registry → no-op bundle.
 func newWHObs(r *obs.Registry) whObs {
 	return whObs{
-		reg:         r,
-		rollIns:     r.Counter("warehouse.rollins"),
-		rollOuts:    r.Counter("warehouse.rollouts"),
-		attaches:    r.Counter("warehouse.attaches"),
-		merges:      r.Counter("warehouse.merges"),
-		errors:      r.Counter("warehouse.errors"),
-		rollInSize:  r.Histogram("warehouse.rollin_sample_size"),
-		mergeInputs: r.Histogram("warehouse.merge_inputs"),
-		mergeNS:     r.Histogram("warehouse.merge_ns"),
+		reg:               r,
+		rollIns:           r.Counter("warehouse.rollins"),
+		rollOuts:          r.Counter("warehouse.rollouts"),
+		attaches:          r.Counter("warehouse.attaches"),
+		merges:            r.Counter("warehouse.merges"),
+		partialMerges:     r.Counter("warehouse.partial_merges"),
+		skippedPartitions: r.Counter("warehouse.skipped_partitions"),
+		recoveries:        r.Counter("warehouse.recoveries"),
+		errors:            r.Counter("warehouse.errors"),
+		rollInSize:        r.Histogram("warehouse.rollin_sample_size"),
+		mergeInputs:       r.Histogram("warehouse.merge_inputs"),
+		mergeNS:           r.Histogram("warehouse.merge_ns"),
 	}
 }
 

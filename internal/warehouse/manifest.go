@@ -1,0 +1,253 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
+	"samplewh/internal/randx"
+	"samplewh/internal/storage"
+)
+
+// manifestName is the blob key of the warehouse catalog. It lives beside the
+// sample files (".blob" suffix on file stores) and goes through the same
+// atomic-rename write path, so a crash leaves either the old catalog or the
+// new one — never a torn manifest.
+const manifestName = "warehouse-manifest"
+
+// manifestVersion is bumped on incompatible manifest layout changes; older
+// readers must refuse newer manifests rather than guess.
+const manifestVersion = 1
+
+// manifest is the serialized warehouse catalog: every data set's sampling
+// configuration plus its attached partitions in roll-in order.
+type manifest struct {
+	Version  int                        `json:"version"`
+	Datasets map[string]manifestDataset `json:"datasets"`
+}
+
+type manifestDataset struct {
+	Algorithm      string   `json:"algorithm"`
+	SBRate         float64  `json:"sb_rate,omitempty"`
+	FootprintBytes int64    `json:"footprint_bytes"`
+	ValueBytes     int64    `json:"value_bytes,omitempty"`
+	CountBytes     int64    `json:"count_bytes,omitempty"`
+	ExceedProb     float64  `json:"exceed_prob,omitempty"`
+	Partitions     []string `json:"partitions"`
+}
+
+// parseAlgorithm inverts Algorithm.String.
+func parseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "HB":
+		return AlgHB, nil
+	case "HR":
+		return AlgHR, nil
+	case "SB":
+		return AlgSB, nil
+	default:
+		return 0, fmt.Errorf("warehouse: unknown algorithm %q in manifest", s)
+	}
+}
+
+// buildManifest snapshots the catalog. Callers hold w.mu.
+func (w *Warehouse[V]) buildManifest() manifest {
+	m := manifest{Version: manifestVersion, Datasets: make(map[string]manifestDataset, len(w.sets))}
+	for name, ds := range w.sets {
+		m.Datasets[name] = manifestDataset{
+			Algorithm:      ds.cfg.Algorithm.String(),
+			SBRate:         ds.cfg.SBRate,
+			FootprintBytes: ds.cfg.Core.FootprintBytes,
+			ValueBytes:     ds.cfg.Core.SizeModel.ValueBytes,
+			CountBytes:     ds.cfg.Core.SizeModel.CountBytes,
+			ExceedProb:     ds.cfg.Core.ExceedProb,
+			Partitions:     append([]string{}, ds.partitions...),
+		}
+	}
+	return m
+}
+
+// saveManifest persists the catalog through the blob side channel. It is a
+// no-op on ephemeral (New-built) warehouses. Callers hold w.mu.
+func (w *Warehouse[V]) saveManifest() error {
+	if w.blob == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(w.buildManifest(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("warehouse: encode manifest: %w", err)
+	}
+	if err := w.blob.PutBlob(manifestName, data); err != nil {
+		return fmt.Errorf("warehouse: save manifest: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads and validates the stored catalog; a missing blob yields
+// an empty manifest (fresh warehouse).
+func loadManifest(blob storage.BlobStore) (manifest, error) {
+	var m manifest
+	data, err := blob.GetBlob(manifestName)
+	if storage.IsNotFound(err) {
+		return manifest{Version: manifestVersion, Datasets: map[string]manifestDataset{}}, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("warehouse: load manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("warehouse: decode manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("warehouse: manifest version %d unsupported (want %d)", m.Version, manifestVersion)
+	}
+	if m.Datasets == nil {
+		m.Datasets = map[string]manifestDataset{}
+	}
+	return m, nil
+}
+
+// RecoveryReport summarizes one manifest-vs-store reconciliation.
+type RecoveryReport struct {
+	// Datasets and Partitions count the catalog after reconciliation.
+	Datasets   int
+	Partitions int
+	// Dangling lists manifest entries ("dataset/partition") whose sample was
+	// missing from the store; they were dropped from the catalog.
+	Dangling []string
+	// Orphans lists store keys no manifest entry claims. They are reported,
+	// not deleted — an orphan may be a roll-in that lost the race with a
+	// crash, and deleting data is the operator's call (swcli fsck -fix).
+	Orphans []string
+}
+
+// Open loads a durable warehouse from the store's persisted manifest and
+// reconciles it against the store's contents (see Recover). The store must
+// support the blob side channel (FileStore and MemStore both do); seed plays
+// the same role as in New. A store without a manifest opens as an empty
+// durable warehouse, so Open doubles as "create durable".
+func Open[V comparable](store storage.Store[V], seed uint64) (*Warehouse[V], *RecoveryReport, error) {
+	blob, ok := store.(storage.BlobStore)
+	if !ok {
+		return nil, nil, fmt.Errorf("warehouse: open: store has no blob support: %w", storage.ErrBlobsUnsupported)
+	}
+	m, err := loadManifest(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &Warehouse[V]{
+		store: store,
+		blob:  blob,
+		rng:   randx.New(seed),
+		sets:  make(map[string]*dataset, len(m.Datasets)),
+	}
+	for name, md := range m.Datasets {
+		alg, err := parseAlgorithm(md.Algorithm)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := DatasetConfig{
+			Algorithm: alg,
+			SBRate:    md.SBRate,
+		}
+		cfg.Core.FootprintBytes = md.FootprintBytes
+		cfg.Core.SizeModel = histogram.SizeModel{ValueBytes: md.ValueBytes, CountBytes: md.CountBytes}
+		cfg.Core.ExceedProb = md.ExceedProb
+		norm, err := cfg.normalized()
+		if err != nil {
+			return nil, nil, fmt.Errorf("warehouse: manifest data set %q: %w", name, err)
+		}
+		w.sets[name] = &dataset{cfg: norm, partitions: append([]string{}, md.Partitions...)}
+	}
+	rep, err := w.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, rep, nil
+}
+
+// Recover reconciles the in-memory catalog against the store: every cataloged
+// partition whose sample is missing (crashed roll-in, quarantined corruption)
+// is dropped as dangling, and every stored sample no catalog entry claims is
+// reported as an orphan. The repaired catalog is persisted. Open calls this;
+// it is exported so long-lived processes can re-reconcile after storage-level
+// surgery.
+func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
+	keys, err := w.store.Keys("")
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: recover: list store: %w", err)
+	}
+	present := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		present[k] = true
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rep := &RecoveryReport{}
+	claimed := make(map[string]bool)
+	changed := false
+	for name, ds := range w.sets {
+		kept := ds.partitions[:0]
+		for _, p := range ds.partitions {
+			k := w.key(name, p)
+			if present[k] {
+				claimed[k] = true
+				kept = append(kept, p)
+			} else {
+				rep.Dangling = append(rep.Dangling, k)
+				changed = true
+			}
+		}
+		ds.partitions = kept
+		rep.Partitions += len(kept)
+	}
+	rep.Datasets = len(w.sets)
+	for _, k := range keys {
+		if !claimed[k] {
+			rep.Orphans = append(rep.Orphans, k)
+		}
+	}
+	sort.Strings(rep.Dangling)
+	sort.Strings(rep.Orphans)
+
+	if changed {
+		if err := w.saveManifest(); err != nil {
+			return nil, err
+		}
+	}
+	w.o.recoveries.Inc()
+	if w.o.reg.Tracing() {
+		w.o.reg.Emit(obs.Event{
+			Type:      obs.EvRecovery,
+			Component: "warehouse",
+			Values: map[string]int64{
+				"datasets":   int64(rep.Datasets),
+				"partitions": int64(rep.Partitions),
+				"dangling":   int64(len(rep.Dangling)),
+				"orphans":    int64(len(rep.Orphans)),
+			},
+		})
+	}
+	return rep, nil
+}
+
+// String renders the report for logs and the CLI.
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovered %d data set(s), %d partition(s)", r.Datasets, r.Partitions)
+	if len(r.Dangling) > 0 {
+		fmt.Fprintf(&b, "; dropped %d dangling: %s", len(r.Dangling), strings.Join(r.Dangling, ", "))
+	}
+	if len(r.Orphans) > 0 {
+		fmt.Fprintf(&b, "; %d orphan(s): %s", len(r.Orphans), strings.Join(r.Orphans, ", "))
+	}
+	return b.String()
+}
+
+// Clean reports whether recovery found nothing to repair or flag.
+func (r *RecoveryReport) Clean() bool {
+	return len(r.Dangling) == 0 && len(r.Orphans) == 0
+}

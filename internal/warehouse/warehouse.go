@@ -94,9 +94,13 @@ type PartitionInfo struct {
 type Warehouse[V comparable] struct {
 	mu    sync.RWMutex
 	store storage.Store[V]
-	rng   *randx.RNG
-	sets  map[string]*dataset
-	o     whObs
+	// blob, when non-nil, is the manifest side channel making the catalog
+	// durable: every catalog mutation rewrites the manifest through it. New
+	// leaves it nil (ephemeral catalog); Open sets it.
+	blob storage.BlobStore
+	rng  *randx.RNG
+	sets map[string]*dataset
+	o    whObs
 }
 
 type dataset struct {
@@ -105,7 +109,8 @@ type dataset struct {
 }
 
 // New creates a warehouse over the given store, seeding all merge
-// randomness from seed.
+// randomness from seed. The catalog (data set configs and partition lists)
+// lives only in memory; use Open for a catalog that survives restarts.
 func New[V comparable](store storage.Store[V], seed uint64) *Warehouse[V] {
 	return &Warehouse[V]{
 		store: store,
@@ -141,6 +146,10 @@ func (w *Warehouse[V]) CreateDataset(name string, cfg DatasetConfig) error {
 		return fmt.Errorf("warehouse: data set %q already exists", name)
 	}
 	w.sets[name] = &dataset{cfg: norm}
+	if err := w.saveManifest(); err != nil {
+		delete(w.sets, name)
+		return err
+	}
 	return nil
 }
 
@@ -203,9 +212,11 @@ func (w *Warehouse[V]) NewSampler(dataset string, expectedN int64) (core.Sampler
 	return smp, nil
 }
 
-// RollIn stores the finalized sample of a new partition. Partition IDs must
-// be unique within the data set; they are kept in roll-in order for
-// windowing.
+// RollIn stores the finalized sample of a new partition. Partitions are kept
+// in roll-in order for windowing. RollIn is idempotent: rolling the same
+// partition ID in again replaces its sample and keeps its original position,
+// so a client retrying after a crash or timeout converges instead of
+// erroring.
 func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) error {
 	if partitionID == "" || strings.ContainsAny(partitionID, "/") {
 		return fmt.Errorf("warehouse: invalid partition id %q", partitionID)
@@ -222,9 +233,11 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 	if !ok {
 		return fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
+	replay := false
 	for _, p := range ds.partitions {
 		if p == partitionID {
-			return fmt.Errorf("warehouse: partition %q already rolled in", partitionID)
+			replay = true
+			break
 		}
 	}
 	if s.Config.FootprintBytes != ds.cfg.Core.FootprintBytes ||
@@ -237,7 +250,12 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 		w.o.fail("roll-in", dataset, partitionID, err)
 		return err
 	}
-	ds.partitions = append(ds.partitions, partitionID)
+	if !replay {
+		ds.partitions = append(ds.partitions, partitionID)
+	}
+	if err := w.saveManifest(); err != nil {
+		return err
+	}
 	w.o.rollIns.Inc()
 	w.o.rollInSize.Observe(s.Size())
 	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
@@ -282,6 +300,10 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 			s.Config, ds.cfg.Core)
 	}
 	ds.partitions = append(ds.partitions, partitionID)
+	if err := w.saveManifest(); err != nil {
+		ds.partitions = ds.partitions[:len(ds.partitions)-1]
+		return err
+	}
 	w.o.attaches.Inc()
 	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
 	w.o.partitionEvent(obs.EvRollIn, dataset, partitionID,
@@ -294,7 +316,9 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 }
 
 // RollOut removes a partition's sample (e.g. when the corresponding data
-// expires from the full-scale warehouse).
+// expires from the full-scale warehouse). Rolling out a partition the data
+// set does not hold is a no-op, so a client retrying a crashed roll-out
+// converges instead of erroring; the data set itself must exist.
 func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -310,7 +334,7 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("warehouse: partition %q not found in %q", partitionID, dataset)
+		return nil
 	}
 	if err := w.store.Delete(w.key(dataset, partitionID)); err != nil {
 		err = fmt.Errorf("warehouse: roll-out %s/%s: %w", dataset, partitionID, err)
@@ -318,6 +342,9 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 		return err
 	}
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
+	if err := w.saveManifest(); err != nil {
+		return err
+	}
 	w.o.rollOuts.Inc()
 	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
 	w.o.partitionEvent(obs.EvRollOut, dataset, partitionID, nil, nil)
@@ -365,11 +392,52 @@ func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sampl
 	return s, nil
 }
 
+// SkippedPartition records one partition a degraded merge left out, with the
+// classified reason ("not found", "corrupt", or "read error") and the
+// underlying error.
+type SkippedPartition struct {
+	ID     string
+	Reason string
+	Err    error
+}
+
+// MergeCoverage reports which of the requested partitions a merge actually
+// covered. Skipped is empty for a full-coverage merge.
+type MergeCoverage struct {
+	Requested []string
+	Merged    []string
+	Skipped   []SkippedPartition
+}
+
+// Partial reports whether any requested partition was skipped.
+func (c MergeCoverage) Partial() bool { return len(c.Skipped) > 0 }
+
 // MergedSample produces a uniform sample of the union of the named
 // partitions — the paper's S_K for K ⊆ {1..k}. Passing no IDs merges all
 // partitions of the data set (a sample of the entire data set). The stored
-// per-partition samples are not consumed.
+// per-partition samples are not consumed. Any unreadable partition fails the
+// whole merge; see MergedSamplePartial for the degraded alternative.
 func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*core.Sample[V], error) {
+	s, _, err := w.mergedSample(dataset, partitionIDs, false)
+	return s, err
+}
+
+// MergedSamplePartial is MergedSample with graceful degradation: partitions
+// whose samples cannot be read (missing, quarantined as corrupt, or erroring)
+// are skipped, and the result is the uniform sample of the union of the
+// partitions that survived — still statistically uniform over that reduced
+// union, since the pairwise merge composes over any subset. The coverage
+// report names every skipped partition so callers can decide whether the
+// degraded answer is acceptable. It errors only if no requested partition is
+// readable.
+func (w *Warehouse[V]) MergedSamplePartial(dataset string, partitionIDs ...string) (*core.Sample[V], MergeCoverage, error) {
+	return w.mergedSample(dataset, partitionIDs, true)
+}
+
+// mergedSample is the shared merge path; partial selects skip-and-report
+// semantics for unreadable partitions.
+func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, partial bool) (*core.Sample[V], MergeCoverage, error) {
+	var cov MergeCoverage
 	w.mu.RLock()
 	ds, ok := w.sets[dataset]
 	var ids []string
@@ -382,25 +450,36 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 	}
 	w.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
+		return nil, cov, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("warehouse: data set %q has no partitions", dataset)
+		return nil, cov, fmt.Errorf("warehouse: data set %q has no partitions", dataset)
 	}
+	cov.Requested = ids
 	seen := make(map[string]bool, len(ids))
 	samples := make([]*core.Sample[V], 0, len(ids))
 	for _, id := range ids {
 		if seen[id] {
-			return nil, fmt.Errorf("warehouse: duplicate partition %q in merge set", id)
+			return nil, cov, fmt.Errorf("warehouse: duplicate partition %q in merge set", id)
 		}
 		seen[id] = true
 		s, err := w.store.Get(w.key(dataset, id))
 		if err != nil {
 			err = fmt.Errorf("warehouse: merge %s: load %s: %w", dataset, id, err)
 			w.o.fail("merge", dataset, id, err)
-			return nil, err
+			if !partial {
+				return nil, cov, err
+			}
+			cov.Skipped = append(cov.Skipped, SkippedPartition{ID: id, Reason: skipReason(err), Err: err})
+			w.o.skippedPartitions.Inc()
+			continue
 		}
 		samples = append(samples, s)
+		cov.Merged = append(cov.Merged, id)
+	}
+	if len(samples) == 0 {
+		return nil, cov, fmt.Errorf("warehouse: merge %s: no readable partitions (of %d requested)",
+			dataset, len(ids))
 	}
 
 	w.mu.Lock()
@@ -422,10 +501,25 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 	if err != nil {
 		err = fmt.Errorf("warehouse: merge %s: %w", dataset, err)
 		w.o.fail("merge", dataset, "", err)
-		return nil, err
+		return nil, cov, err
 	}
 	w.o.merges.Inc()
 	w.o.mergeInputs.Observe(int64(len(samples)))
+	if cov.Partial() {
+		w.o.partialMerges.Inc()
+		if w.o.reg.Tracing() {
+			w.o.reg.Emit(obs.Event{
+				Type:      obs.EvPartialMerge,
+				Component: "warehouse",
+				Dataset:   dataset,
+				Values: map[string]int64{
+					"requested": int64(len(cov.Requested)),
+					"merged":    int64(len(cov.Merged)),
+					"skipped":   int64(len(cov.Skipped)),
+				},
+			})
+		}
+	}
 	if w.o.reg.Tracing() {
 		w.o.reg.Emit(obs.Event{
 			Type:      obs.EvMerge,
@@ -439,7 +533,19 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 			},
 		})
 	}
-	return merged, nil
+	return merged, cov, nil
+}
+
+// skipReason classifies a load failure for the coverage report.
+func skipReason(err error) string {
+	switch {
+	case storage.IsNotFound(err):
+		return "not found"
+	case storage.IsCorrupt(err):
+		return "corrupt"
+	default:
+		return "read error"
+	}
 }
 
 // Window produces a uniform sample of the union of the most recent n

@@ -106,12 +106,19 @@ func TestRollInAndPartitions(t *testing.T) {
 func TestRollInValidation(t *testing.T) {
 	w := newTestWarehouse(t, AlgHR, 64)
 	ingest(t, w, "orders", "p1", 0, 1000)
-	// Duplicate partition.
+	// Re-rolling an existing partition is an idempotent replace: same
+	// position, new sample, no duplicate list entry.
 	smp, _ := w.NewSampler("orders", 10)
 	smp.Feed(1)
 	s, _ := smp.Finalize()
-	if err := w.RollIn("orders", "p1", s); err == nil {
-		t.Error("duplicate partition accepted")
+	if err := w.RollIn("orders", "p1", s); err != nil {
+		t.Errorf("idempotent re-roll-in: %v", err)
+	}
+	if parts, _ := w.Partitions("orders"); len(parts) != 1 || parts[0] != "p1" {
+		t.Errorf("partitions after replay = %v", parts)
+	}
+	if got, err := w.PartitionSample("orders", "p1"); err != nil || got.ParentSize != 1 {
+		t.Errorf("replay did not replace sample: %v, %v", got, err)
 	}
 	if err := w.RollIn("orders", "bad/id", s); err == nil {
 		t.Error("slash in partition id accepted")
@@ -145,8 +152,15 @@ func TestRollOut(t *testing.T) {
 	if _, err := w.PartitionSample("orders", "day1"); !storage.IsNotFound(err) {
 		t.Fatalf("rolled-out sample still present: %v", err)
 	}
-	if err := w.RollOut("orders", "day1"); err == nil {
-		t.Error("double roll-out accepted")
+	// Double roll-out is an idempotent no-op; a missing data set still errors.
+	if err := w.RollOut("orders", "day1"); err != nil {
+		t.Errorf("double roll-out: %v", err)
+	}
+	if parts, _ := w.Partitions("orders"); len(parts) != 1 {
+		t.Errorf("partitions after replayed roll-out = %v", parts)
+	}
+	if err := w.RollOut("nope", "day1"); err == nil {
+		t.Error("roll-out on unknown data set accepted")
 	}
 }
 

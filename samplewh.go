@@ -282,6 +282,31 @@ func NewGenericWarehouse[V comparable](store storage.Store[V], seed uint64) *Gen
 	return warehouse.New[V](store, seed)
 }
 
+// RecoveryReport describes what a warehouse recovery reconciled: the catalog
+// it restored plus any dangling partitions dropped and orphan keys found.
+type RecoveryReport = warehouse.RecoveryReport
+
+// OpenWarehouse opens a durable int64-valued warehouse over store: the
+// catalog (data set configurations and partition lists) is persisted as a
+// manifest in the store and restored — reconciled against the store's actual
+// contents — on every open. The store must support blob metadata (the
+// built-in memory and file stores do).
+func OpenWarehouse(store Store, seed uint64) (*Warehouse, *RecoveryReport, error) {
+	return warehouse.Open[int64](store, seed)
+}
+
+// OpenGenericWarehouse is OpenWarehouse over any comparable value type.
+func OpenGenericWarehouse[V comparable](store storage.Store[V], seed uint64) (*GenericWarehouse[V], *RecoveryReport, error) {
+	return warehouse.Open[V](store, seed)
+}
+
+// SkippedPartition names one partition a partial merge left out, with why.
+type SkippedPartition = warehouse.SkippedPartition
+
+// MergeCoverage reports which of a partial merge's requested partitions made
+// it into the result and which were skipped.
+type MergeCoverage = warehouse.MergeCoverage
+
 // GenericStore is the persistence contract for warehouses over arbitrary
 // value types.
 type GenericStore[V comparable] = storage.Store[V]
@@ -300,8 +325,32 @@ func NewFileStore(dir string) (Store, error) {
 	return storage.NewFileStore[int64](dir, storage.Int64Codec{})
 }
 
+// RetryPolicy configures RetryStore backoff: attempt budget, capped
+// exponential delay and jitter.
+type RetryPolicy = storage.RetryPolicy
+
+// NewRetryStore wraps an int64-valued store so transient failures are
+// retried under capped exponential backoff with jitter; permanent failures
+// (missing keys, corruption) pass straight through.
+func NewRetryStore(inner Store, pol RetryPolicy) Store {
+	return storage.NewRetryStore[int64](inner, pol)
+}
+
+// NewGenericRetryStore is NewRetryStore over any comparable value type.
+func NewGenericRetryStore[V comparable](inner storage.Store[V], pol RetryPolicy) storage.Store[V] {
+	return storage.NewRetryStore[V](inner, pol)
+}
+
 // IsNotFound reports whether err is a missing-key store error.
 func IsNotFound(err error) bool { return storage.IsNotFound(err) }
+
+// IsCorrupt reports whether err marks data that failed checksum or decode
+// validation (the file store quarantines such files as *.corrupt).
+func IsCorrupt(err error) bool { return storage.IsCorrupt(err) }
+
+// IsRetryable reports whether err is transient — worth retrying. Missing
+// keys, corruption and unclassified errors are permanent.
+func IsRetryable(err error) bool { return storage.IsRetryable(err) }
 
 // Estimate is a point estimate with a confidence interval.
 type Estimate = estimate.Estimate
@@ -431,6 +480,10 @@ const (
 	EvMerge           = obs.EvMerge
 	EvPartitionCut    = obs.EvPartitionCut
 	EvError           = obs.EvError
+	EvRetry           = obs.EvRetry
+	EvQuarantine      = obs.EvQuarantine
+	EvPartialMerge    = obs.EvPartialMerge
+	EvRecovery        = obs.EvRecovery
 )
 
 // defaultMetrics backs DefaultMetrics and Snapshot for single-registry
