@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench fuzz
+.PHONY: check fmt vet build test bench bench-query fuzz
 
 check: fmt vet build test
 
@@ -25,6 +25,11 @@ test:
 # The figure benches and the instrumentation-overhead comparison.
 bench:
 	go test -run XXX -bench . -benchtime 1s .
+
+# Read-path benchmark (DESIGN.md §9): cold vs warm cache and merge
+# parallelism at 64 partitions, written to BENCH_query.json.
+bench-query:
+	go run ./cmd/swbench -exp querypath -qparts 16,64 -qworkers 1,4,16 -json BENCH_query.json
 
 # Short fuzz pass over the binary sample codec (decode must never panic and
 # must reject corrupted inputs). Override FUZZTIME for longer campaigns.

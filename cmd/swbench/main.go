@@ -10,7 +10,8 @@
 //	concise     §3.3 concise-sampling non-uniformity demonstration
 //	uniformity  chi-square uniformity audit of all three pipelines
 //	faults      fault-injection drill: transient storm + bit-rot degradation
-//	all         everything above except faults
+//	querypath   read-path scaling: cold vs warm cache, merge parallelism
+//	all         everything above except faults and querypath
 //
 // The defaults run a laptop-scale configuration; pass -full for the paper's
 // original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
@@ -64,7 +65,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -76,6 +77,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base RNG seed")
 		parallelism = flag.Int("parallelism", 0, "sampler goroutines (0 = GOMAXPROCS)")
 		trials      = flag.Int("trials", 0, "trials for concise/uniformity experiments")
+		qparts      = flag.String("qparts", "16,64", "querypath experiment: comma-separated partition counts")
+		qworkers    = flag.String("qworkers", "1,4,16", "querypath experiment: comma-separated merge worker counts")
 		faultRate   = flag.Float64("fault-rate", 0.2, "faults experiment: transient failure probability per store op")
 		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
@@ -173,6 +176,9 @@ func main() {
 			return nil
 		case "faults":
 			r, err := experiments.FaultTolerance(*faultRate, *faultCrpt, 16, opt)
+			return emit(name, r, err)
+		case "querypath":
+			r, err := experiments.QueryPath(parseInts(*qparts), parseInts(*qworkers), opt)
 			return emit(name, r, err)
 		case "uniformity":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {

@@ -346,67 +346,75 @@ func MergeSerial[V comparable](samples []*Sample[V], merge MergeFunc[V], src ran
 // MergeTree combines the samples with a balanced binary tree of pairwise
 // merges — the shape the paper's §4.2 alias-table discussion assumes (all
 // merges at one level see identically-sized inputs). Inputs are consumed.
+//
+// Randomness is assigned per tree node: when src is a *randx.RNG, every pair
+// of every level draws from an independent stream split off src in tree
+// position order (level by level, left to right). The assignment depends only
+// on the tree shape — never on execution order — so MergeTreeParallel
+// produces byte-identical output for the same seed. Foreign Source
+// implementations cannot be split; all merges then share src sequentially.
 func MergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source) (*Sample[V], error) {
-	if len(samples) == 0 {
-		return nil, fmt.Errorf("core: MergeTree with no samples")
-	}
-	level := samples
-	for len(level) > 1 {
-		next := make([]*Sample[V], 0, (len(level)+1)/2)
-		for i := 0; i+1 < len(level); i += 2 {
-			m, err := merge(level[i], level[i+1], src)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, m)
-		}
-		if len(level)%2 == 1 {
-			next = append(next, level[len(level)-1])
-		}
-		level = next
-	}
-	return level[0], nil
+	return mergeTree(samples, merge, src, 1)
 }
 
 // MergeTreeParallel is MergeTree with every level's pairwise merges executed
 // concurrently (up to parallelism goroutines; 0 selects one per pair). The
 // merges within a level are independent — the parallelism the paper's
 // architecture calls for on the merge path as well as the sampling path.
-// Each pair draws its randomness from an independent stream split off src up
-// front, so results are deterministic for a fixed seed regardless of
-// scheduling. Inputs are consumed.
+// Because randomness is pre-assigned per tree position (see MergeTree), the
+// result is byte-identical to the sequential MergeTree for the same seed,
+// regardless of parallelism or scheduling. A foreign (non-*randx.RNG) source
+// cannot be split across goroutines; the tree then runs sequentially on the
+// shared stream. Inputs are consumed.
 func MergeTreeParallel[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
+	return mergeTree(samples, merge, src, parallelism)
+}
+
+// mergeTree is the shared balanced-tree executor behind MergeTree and
+// MergeTreeParallel.
+func mergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("core: MergeTreeParallel with no samples")
+		return nil, fmt.Errorf("core: MergeTree with no samples")
 	}
-	// Splitting requires an *RNG; fall back to the serial tree for foreign
-	// sources.
-	rng, ok := src.(*randx.RNG)
-	if !ok {
-		return MergeTree(samples, merge, src)
+	rng, splittable := src.(*randx.RNG)
+	if !splittable {
+		// A shared foreign stream admits no deterministic partition across
+		// goroutines; run the tree sequentially on it.
+		parallelism = 1
 	}
 	level := samples
 	for len(level) > 1 {
 		pairs := len(level) / 2
 		next := make([]*Sample[V], (len(level)+1)/2)
 		errs := make([]error, pairs)
-		// Pre-split one independent stream per pair, in deterministic order.
-		srcs := make([]*randx.RNG, pairs)
+		// Seed-per-node: one stream per pair, split in tree position order so
+		// sequential and concurrent execution consume identical randomness.
+		srcs := make([]randx.Source, pairs)
 		for i := range srcs {
-			srcs[i] = rng.Split()
+			if splittable {
+				srcs[i] = rng.Split()
+			} else {
+				srcs[i] = src
+			}
 		}
-		sem := make(chan struct{}, parallelismOrPairs(parallelism, pairs))
-		var wg sync.WaitGroup
-		for i := 0; i < pairs; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+		if workers := parallelismOrPairs(parallelism, pairs); workers == 1 {
+			for i := 0; i < pairs; i++ {
 				next[i], errs[i] = merge(level[2*i], level[2*i+1], srcs[i])
-			}(i)
+			}
+		} else {
+			sem := make(chan struct{}, workers)
+			var wg sync.WaitGroup
+			for i := 0; i < pairs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					next[i], errs[i] = merge(level[2*i], level[2*i+1], srcs[i])
+				}(i)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
 				return nil, err

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"samplewh/internal/randx"
+)
+
+// sampleIdentical is the strict byte-level notion of equality the parallel
+// merge tree promises: every field that the storage codec serializes must
+// match, not just the statistical metadata.
+func sampleIdentical(a, b *Sample[int64]) error {
+	if a.Kind != b.Kind {
+		return fmt.Errorf("kind %v vs %v", a.Kind, b.Kind)
+	}
+	if a.ParentSize != b.ParentSize {
+		return fmt.Errorf("parent size %d vs %d", a.ParentSize, b.ParentSize)
+	}
+	if a.Q != b.Q {
+		return fmt.Errorf("q %v vs %v", a.Q, b.Q)
+	}
+	if a.Config != b.Config {
+		return fmt.Errorf("config %+v vs %+v", a.Config, b.Config)
+	}
+	if !a.Hist.Equal(b.Hist) {
+		return fmt.Errorf("histograms differ")
+	}
+	return nil
+}
+
+// TestMergeTreeParallelByteIdentical is the correctness linchpin of the
+// parallel executor: for the same seed, MergeTreeParallel must produce a
+// sample byte-identical to sequential MergeTree at every partition count
+// (including odd counts that exercise the carry) and every parallelism.
+func TestMergeTreeParallelByteIdentical(t *testing.T) {
+	cfg := smallCfg(64)
+	for _, parts := range []int{1, 2, 3, 5, 8, 13, 16, 64} {
+		for _, mergeName := range []string{"HR", "HB"} {
+			t.Run(fmt.Sprintf("parts=%d/%s", parts, mergeName), func(t *testing.T) {
+				merge := HRMerge[int64]
+				collect := collectHR
+				if mergeName == "HB" {
+					merge = HBMerge[int64]
+					collect = collectHB
+				}
+				build := func() []*Sample[int64] {
+					r := randx.New(123)
+					var ss []*Sample[int64]
+					for p := int64(0); p < int64(parts); p++ {
+						ss = append(ss, collect(t, cfg, p*500, (p+1)*500, r.Split()))
+					}
+					return ss
+				}
+				serial, err := MergeTree(build(), merge, randx.New(777))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 2, 4, 8, 0} {
+					got, err := MergeTreeParallel(build(), merge, randx.New(777), par)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sampleIdentical(serial, got); err != nil {
+						t.Fatalf("parallelism %d diverged from serial: %v", par, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMergeTreeForeignSourceSequential documents the fallback: a Source that
+// is not a *randx.RNG cannot be split, so the tree must run deterministically
+// on the shared stream — two identical runs agree.
+func TestMergeTreeForeignSourceSequential(t *testing.T) {
+	cfg := smallCfg(32)
+	build := func() []*Sample[int64] {
+		r := randx.New(5)
+		var ss []*Sample[int64]
+		for p := int64(0); p < 6; p++ {
+			ss = append(ss, collectHR(t, cfg, p*300, (p+1)*300, r.Split()))
+		}
+		return ss
+	}
+	run := func() *Sample[int64] {
+		m, err := MergeTreeParallel(build(), HRMerge, &countingSource{rng: randx.New(9)}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if err := sampleIdentical(run(), run()); err != nil {
+		t.Fatalf("foreign-source tree not deterministic: %v", err)
+	}
+}
+
+// countingSource wraps an RNG without being one, forcing the non-splittable
+// path through the merge tree.
+type countingSource struct {
+	rng   *randx.RNG
+	calls int64
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.calls++
+	return c.rng.Uint64()
+}

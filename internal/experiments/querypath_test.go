@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestQueryPathSmoke runs the read-path experiment at tiny scale and checks
+// the structural invariants: one cold + one warm row per partition count,
+// one merge row per worker count, zero store gets on every warm-cache cell,
+// and a full complement of store gets on every cold cell.
+func TestQueryPathSmoke(t *testing.T) {
+	parts := []int{4}
+	workers := []int{1, 2}
+	r, err := QueryPath(parts, workers, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(parts)*2 + len(parts)*len(workers)
+	if len(r.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d:\n%v", len(r.Rows), wantRows, r)
+	}
+	for _, row := range r.Rows {
+		phase, config, gets := row[0], row[1], row[4]
+		g, err := strconv.ParseFloat(gets, 64)
+		if err != nil {
+			t.Fatalf("unparseable store_gets %q in row %v", gets, row)
+		}
+		switch {
+		case phase == "load" && config == "cold (no cache)":
+			if g < float64(parts[0]) {
+				t.Errorf("cold cell did %v gets/merge, want >= %d: %v", g, parts[0], row)
+			}
+		default: // warm load cell and all merge cells run from cache
+			if g != 0 {
+				t.Errorf("%s %q cell did %v gets/merge, want 0: %v", phase, config, g, row)
+			}
+		}
+	}
+}

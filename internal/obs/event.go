@@ -41,6 +41,9 @@ const (
 	// EvRecovery: a warehouse rebuilt its state from the durable manifest.
 	// Values: "datasets", "partitions", "dangling", "orphans".
 	EvRecovery = "recovery"
+	// EvCacheEvict: the sample cache dropped an entry to stay inside its
+	// byte budget. Labels: "key". Values: "footprint".
+	EvCacheEvict = "cache_evict"
 )
 
 // Event is one structured trace record. Component identifies the emitting

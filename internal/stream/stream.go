@@ -5,6 +5,10 @@
 // based on the sampled-to-seen ratio ("we wait until the ratio of sampled
 // data to observed parent data hits the specified lower bound, at which
 // point we finalize the current data partition ... and begin a new one").
+//
+// Everything is generic over the sampled value type V, matching core and
+// warehouse; SampleParallel remains the int64 convenience entry point over
+// workload generators (the paper's evaluation data type).
 package stream
 
 import (
@@ -34,9 +38,9 @@ func newPartitionerObs(r *obs.Registry, component string) partitionerObs {
 	}
 }
 
-// cut records one finalized partition: the counter bump plus (when tracing)
-// an EvPartitionCut event.
-func (o *partitionerObs) cut(idx int, s *core.Sample[int64]) {
+// cutEvent records one finalized partition: the counter bump plus (when
+// tracing) an EvPartitionCut event.
+func cutEvent[V comparable](o *partitionerObs, idx int, s *core.Sample[V]) {
 	o.cuts.Inc()
 	if o.reg.Tracing() {
 		o.reg.Emit(obs.Event{
@@ -54,7 +58,7 @@ func (o *partitionerObs) cut(idx int, s *core.Sample[int64]) {
 
 // instrumentSampler routes a sampler's metrics into reg when the sampler
 // supports instrumentation (all core samplers do). Nil reg is a no-op.
-func instrumentSampler(s core.Sampler[int64], reg *obs.Registry, partition string) {
+func instrumentSampler[V comparable](s core.Sampler[V], reg *obs.Registry, partition string) {
 	if reg == nil {
 		return
 	}
@@ -67,12 +71,20 @@ func instrumentSampler(s core.Sampler[int64], reg *obs.Registry, partition strin
 
 // SamplerFactory builds the sampler for partition index i covering
 // expectedN elements.
-type SamplerFactory func(i int, expectedN int64) core.Sampler[int64]
+type SamplerFactory[V comparable] func(i int, expectedN int64) core.Sampler[V]
+
+// Source is one partition's finite stream of values: Len reports the
+// expected element count (0 when unknown) and Next yields values until
+// exhausted. *workload.Generator satisfies Source[int64].
+type Source[V any] interface {
+	Len() int64
+	Next() (V, bool)
+}
 
 // ParallelResult pairs a partition's finalized sample with its index.
-type ParallelResult struct {
+type ParallelResult[V comparable] struct {
 	Index  int
-	Sample *core.Sample[int64]
+	Sample *core.Sample[V]
 	Err    error
 }
 
@@ -81,19 +93,29 @@ type ParallelResult struct {
 // GOMAXPROCS) — and returns the finalized samples in partition order. This
 // simulates the paper's cluster: each partition of the divided batch or
 // split stream is sampled by an independent process.
-func SampleParallel(gens []*workload.Generator, factory SamplerFactory, parallelism int) ([]*core.Sample[int64], error) {
-	if len(gens) == 0 {
+func SampleParallel(gens []*workload.Generator, factory SamplerFactory[int64], parallelism int) ([]*core.Sample[int64], error) {
+	srcs := make([]Source[int64], len(gens))
+	for i, g := range gens {
+		srcs[i] = g
+	}
+	return SampleParallelFrom(srcs, factory, parallelism)
+}
+
+// SampleParallelFrom is SampleParallel over any value type: each source is
+// fed through its own sampler, at most parallelism at a time.
+func SampleParallelFrom[V comparable](sources []Source[V], factory SamplerFactory[V], parallelism int) ([]*core.Sample[V], error) {
+	if len(sources) == 0 {
 		return nil, fmt.Errorf("stream: no generators")
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	results := make([]ParallelResult, len(gens))
+	results := make([]ParallelResult[V], len(sources))
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
-	for i, g := range gens {
+	for i, g := range sources {
 		wg.Add(1)
-		go func(i int, g *workload.Generator) {
+		go func(i int, g Source[V]) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -106,11 +128,11 @@ func SampleParallel(gens []*workload.Generator, factory SamplerFactory, parallel
 				smp.Feed(v)
 			}
 			s, err := smp.Finalize()
-			results[i] = ParallelResult{Index: i, Sample: s, Err: err}
+			results[i] = ParallelResult[V]{Index: i, Sample: s, Err: err}
 		}(i, g)
 	}
 	wg.Wait()
-	out := make([]*core.Sample[int64], len(gens))
+	out := make([]*core.Sample[V], len(sources))
 	for i, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("stream: partition %d: %w", i, r.Err)
@@ -125,8 +147,8 @@ func SampleParallel(gens []*workload.Generator, factory SamplerFactory, parallel
 // scenario. Because the sub-streams are disjoint, each sampler's output is a
 // uniform sample of its sub-stream and the samples can be merged into a
 // uniform sample of everything.
-type Splitter struct {
-	samplers []core.Sampler[int64]
+type Splitter[V comparable] struct {
+	samplers []core.Sampler[V]
 	next     int
 	fed      int64
 
@@ -135,12 +157,12 @@ type Splitter struct {
 }
 
 // NewSplitter builds a splitter over w samplers created by factory.
-func NewSplitter(w int, factory SamplerFactory) *Splitter {
+func NewSplitter[V comparable](w int, factory SamplerFactory[V]) *Splitter[V] {
 	if w < 1 {
 		panic(fmt.Sprintf("stream: NewSplitter with w = %d < 1", w))
 	}
-	sp := &Splitter{
-		samplers: make([]core.Sampler[int64], w),
+	sp := &Splitter[V]{
+		samplers: make([]core.Sampler[V], w),
 		lanes:    make([]*obs.Counter, w),
 	}
 	for i := range sp.samplers {
@@ -152,7 +174,7 @@ func NewSplitter(w int, factory SamplerFactory) *Splitter {
 // Instrument routes the splitter's metrics into reg: the total item count,
 // one per-lane item counter, and the lane samplers themselves. Call it
 // before the first Feed; a nil registry leaves the splitter uninstrumented.
-func (sp *Splitter) Instrument(reg *obs.Registry) {
+func (sp *Splitter[V]) Instrument(reg *obs.Registry) {
 	sp.items = reg.Counter("stream.split.items")
 	for i, s := range sp.samplers {
 		sp.lanes[i] = reg.Counter(fmt.Sprintf("stream.lane.%d.items", i))
@@ -161,7 +183,7 @@ func (sp *Splitter) Instrument(reg *obs.Registry) {
 }
 
 // Feed routes one value to the next sampler in round-robin order.
-func (sp *Splitter) Feed(v int64) {
+func (sp *Splitter[V]) Feed(v V) {
 	sp.samplers[sp.next].Feed(v)
 	sp.items.Inc()
 	sp.lanes[sp.next].Inc()
@@ -170,11 +192,11 @@ func (sp *Splitter) Feed(v int64) {
 }
 
 // Fed returns the number of values routed so far.
-func (sp *Splitter) Fed() int64 { return sp.fed }
+func (sp *Splitter[V]) Fed() int64 { return sp.fed }
 
 // Finalize finalizes every sub-stream sampler and returns the samples.
-func (sp *Splitter) Finalize() ([]*core.Sample[int64], error) {
-	out := make([]*core.Sample[int64], len(sp.samplers))
+func (sp *Splitter[V]) Finalize() ([]*core.Sample[V], error) {
+	out := make([]*core.Sample[V], len(sp.samplers))
 	for i, s := range sp.samplers {
 		smp, err := s.Finalize()
 		if err != nil {
@@ -188,22 +210,22 @@ func (sp *Splitter) Finalize() ([]*core.Sample[int64], error) {
 // TemporalPartitioner cuts a stream into fixed-length partitions (e.g. one
 // per day) and samples each independently, so that daily samples can later
 // be combined into weekly, monthly or yearly samples (paper §2).
-type TemporalPartitioner struct {
+type TemporalPartitioner[V comparable] struct {
 	every   int64
-	factory SamplerFactory
-	cur     core.Sampler[int64]
+	factory SamplerFactory[V]
+	cur     core.Sampler[V]
 	curIdx  int
 	inCur   int64
-	done    []*core.Sample[int64]
+	done    []*core.Sample[V]
 	o       partitionerObs
 }
 
 // NewTemporalPartitioner cuts a new partition after every `every` values.
-func NewTemporalPartitioner(every int64, factory SamplerFactory) *TemporalPartitioner {
+func NewTemporalPartitioner[V comparable](every int64, factory SamplerFactory[V]) *TemporalPartitioner[V] {
 	if every < 1 {
 		panic(fmt.Sprintf("stream: NewTemporalPartitioner with every = %d < 1", every))
 	}
-	tp := &TemporalPartitioner{every: every, factory: factory}
+	tp := &TemporalPartitioner[V]{every: every, factory: factory}
 	tp.cur = factory(0, every)
 	return tp
 }
@@ -211,13 +233,13 @@ func NewTemporalPartitioner(every int64, factory SamplerFactory) *TemporalPartit
 // Instrument routes the partitioner's metrics and EvPartitionCut events into
 // reg, and instruments the current and all future partition samplers. Call
 // it before the first Feed; a nil registry is a no-op.
-func (tp *TemporalPartitioner) Instrument(reg *obs.Registry) {
+func (tp *TemporalPartitioner[V]) Instrument(reg *obs.Registry) {
 	tp.o = newPartitionerObs(reg, "stream.temporal")
 	instrumentSampler(tp.cur, reg, fmt.Sprintf("p%d", tp.curIdx))
 }
 
 // Feed processes one value, cutting a partition boundary when due.
-func (tp *TemporalPartitioner) Feed(v int64) error {
+func (tp *TemporalPartitioner[V]) Feed(v V) error {
 	tp.cur.Feed(v)
 	tp.inCur++
 	if tp.inCur >= tp.every {
@@ -227,13 +249,13 @@ func (tp *TemporalPartitioner) Feed(v int64) error {
 }
 
 // cut finalizes the current partition and opens the next.
-func (tp *TemporalPartitioner) cut() error {
+func (tp *TemporalPartitioner[V]) cut() error {
 	s, err := tp.cur.Finalize()
 	if err != nil {
 		return fmt.Errorf("stream: temporal cut: %w", err)
 	}
 	tp.done = append(tp.done, s)
-	tp.o.cut(tp.curIdx, s)
+	cutEvent(&tp.o, tp.curIdx, s)
 	tp.curIdx++
 	tp.cur = tp.factory(tp.curIdx, tp.every)
 	instrumentSampler(tp.cur, tp.o.reg, fmt.Sprintf("p%d", tp.curIdx))
@@ -243,7 +265,7 @@ func (tp *TemporalPartitioner) cut() error {
 
 // Finalize closes the in-progress partition (if non-empty) and returns all
 // partition samples in temporal order.
-func (tp *TemporalPartitioner) Finalize() ([]*core.Sample[int64], error) {
+func (tp *TemporalPartitioner[V]) Finalize() ([]*core.Sample[V], error) {
 	if tp.inCur > 0 {
 		if err := tp.cut(); err != nil {
 			return nil, err
@@ -258,16 +280,16 @@ func (tp *TemporalPartitioner) Finalize() ([]*core.Sample[int64], error) {
 // data falls to the specified lower bound, finalize the partition (and its
 // sample) and begin a new one. This keeps every partition's sampling
 // fraction at or above MinFraction while the footprint stays bounded.
-type RatioPartitioner struct {
+type RatioPartitioner[V comparable] struct {
 	minFraction float64
 	minSize     int64 // grace period before the ratio is enforced
-	factory     SamplerFactory
+	factory     SamplerFactory[V]
 	cur         interface {
-		core.Sampler[int64]
+		core.Sampler[V]
 		SampleSize() int64
 	}
 	curIdx int
-	done   []*core.Sample[int64]
+	done   []*core.Sample[V]
 	o      partitionerObs
 }
 
@@ -275,14 +297,14 @@ type RatioPartitioner struct {
 // below minFraction (checked once at least minSize elements have been
 // seen; minSize <= 0 selects 1). The factory must build samplers exposing
 // SampleSize (HB, HR, SB and friends all do).
-func NewRatioPartitioner(minFraction float64, minSize int64, factory SamplerFactory) (*RatioPartitioner, error) {
+func NewRatioPartitioner[V comparable](minFraction float64, minSize int64, factory SamplerFactory[V]) (*RatioPartitioner[V], error) {
 	if minFraction <= 0 || minFraction > 1 {
 		return nil, fmt.Errorf("stream: min fraction %v outside (0,1]", minFraction)
 	}
 	if minSize <= 0 {
 		minSize = 1
 	}
-	rp := &RatioPartitioner{minFraction: minFraction, minSize: minSize, factory: factory}
+	rp := &RatioPartitioner[V]{minFraction: minFraction, minSize: minSize, factory: factory}
 	if err := rp.open(); err != nil {
 		return nil, err
 	}
@@ -292,28 +314,28 @@ func NewRatioPartitioner(minFraction float64, minSize int64, factory SamplerFact
 // Instrument routes the partitioner's metrics and EvPartitionCut events into
 // reg, and instruments the current and all future partition samplers. Call
 // it before the first Feed; a nil registry is a no-op.
-func (rp *RatioPartitioner) Instrument(reg *obs.Registry) {
+func (rp *RatioPartitioner[V]) Instrument(reg *obs.Registry) {
 	rp.o = newPartitionerObs(reg, "stream.ratio")
 	instrumentSampler(rp.cur, reg, fmt.Sprintf("p%d", rp.curIdx))
 }
 
 // open starts the next partition's sampler.
-func (rp *RatioPartitioner) open() error {
+func (rp *RatioPartitioner[V]) open() error {
 	s := rp.factory(rp.curIdx, 0)
 	sized, ok := s.(interface {
-		core.Sampler[int64]
+		core.Sampler[V]
 		SampleSize() int64
 	})
 	if !ok {
 		return fmt.Errorf("stream: sampler %T does not expose SampleSize", s)
 	}
 	rp.cur = sized
-	instrumentSampler(sized, rp.o.reg, fmt.Sprintf("p%d", rp.curIdx))
+	instrumentSampler[V](sized, rp.o.reg, fmt.Sprintf("p%d", rp.curIdx))
 	return nil
 }
 
 // Feed processes one value; it may finalize the current partition.
-func (rp *RatioPartitioner) Feed(v int64) error {
+func (rp *RatioPartitioner[V]) Feed(v V) error {
 	rp.cur.Feed(v)
 	seen := rp.cur.Seen()
 	if seen < rp.minSize {
@@ -325,7 +347,7 @@ func (rp *RatioPartitioner) Feed(v int64) error {
 			return fmt.Errorf("stream: ratio cut: %w", err)
 		}
 		rp.done = append(rp.done, s)
-		rp.o.cut(rp.curIdx, s)
+		cutEvent(&rp.o, rp.curIdx, s)
 		rp.curIdx++
 		return rp.open()
 	}
@@ -334,17 +356,17 @@ func (rp *RatioPartitioner) Feed(v int64) error {
 
 // Finalize closes the in-progress partition (if non-empty) and returns all
 // partition samples in order.
-func (rp *RatioPartitioner) Finalize() ([]*core.Sample[int64], error) {
+func (rp *RatioPartitioner[V]) Finalize() ([]*core.Sample[V], error) {
 	if rp.cur.Seen() > 0 {
 		s, err := rp.cur.Finalize()
 		if err != nil {
 			return nil, err
 		}
 		rp.done = append(rp.done, s)
-		rp.o.cut(rp.curIdx, s)
+		cutEvent(&rp.o, rp.curIdx, s)
 	}
 	return rp.done, nil
 }
 
 // Partitions returns the number of completed partitions so far.
-func (rp *RatioPartitioner) Partitions() int { return len(rp.done) }
+func (rp *RatioPartitioner[V]) Partitions() int { return len(rp.done) }

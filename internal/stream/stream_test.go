@@ -119,7 +119,7 @@ func TestSplitterPanicsOnZeroLanes(t *testing.T) {
 			t.Fatal("w=0 did not panic")
 		}
 	}()
-	NewSplitter(0, nil)
+	NewSplitter[int64](0, nil)
 }
 
 func TestTemporalPartitionerCutsEvery(t *testing.T) {
@@ -170,7 +170,7 @@ func TestTemporalPartitionerPanics(t *testing.T) {
 			t.Fatal("every=0 did not panic")
 		}
 	}()
-	NewTemporalPartitioner(0, nil)
+	NewTemporalPartitioner[int64](0, nil)
 }
 
 func TestRatioPartitionerMaintainsFraction(t *testing.T) {

@@ -1,0 +1,259 @@
+package warehouse
+
+import (
+	"runtime"
+	"sync"
+
+	"samplewh/internal/core"
+	"samplewh/internal/obs"
+	"samplewh/internal/samplecache"
+	"samplewh/internal/storage"
+)
+
+// QueryConfig tunes the warehouse read path (see DESIGN.md §9).
+type QueryConfig struct {
+	// CacheBytes bounds the decoded-sample cache by total sample footprint.
+	// 0 (the default) disables caching: every merge re-reads the store, the
+	// pre-cache behavior.
+	CacheBytes int64
+	// LoadWorkers bounds the number of concurrent store.Get calls one merge
+	// issues. 0 selects the default (4×GOMAXPROCS — partition loads are
+	// I/O-bound); 1 loads sequentially.
+	LoadWorkers int
+	// MergeWorkers bounds the number of concurrent pairwise merges per tree
+	// level. 0 selects GOMAXPROCS; 1 forces the sequential tree. The merged
+	// result is byte-identical either way (see core.MergeTreeParallel).
+	MergeWorkers int
+}
+
+// resolveLoadWorkers maps the config value to an effective worker count.
+func resolveLoadWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+// resolveMergeWorkers maps the config value to an effective parallelism.
+func resolveMergeWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// loadObs bundles the loader's metric handles (nil-safe zero value).
+//
+// Metric names (see README.md §Observability):
+//
+//	warehouse.partition_loads   store fetches issued by the read path (counter)
+//	warehouse.load_dedup        loads coalesced onto an in-flight fetch (counter)
+//	warehouse.load_ns           store fetch latency (histogram)
+type loadObs struct {
+	partitionLoads *obs.Counter
+	loadDedup      *obs.Counter
+	loadNS         *obs.Histogram
+}
+
+func newLoadObs(r *obs.Registry) loadObs {
+	return loadObs{
+		partitionLoads: r.Counter("warehouse.partition_loads"),
+		loadDedup:      r.Counter("warehouse.load_dedup"),
+		loadNS:         r.Histogram("warehouse.load_ns"),
+	}
+}
+
+// loader is the read-path fetch layer: a bounded worker pool over store.Get
+// with singleflight deduplication and a read-through sample cache.
+//
+// Concurrent loads of the same key coalesce onto one store fetch; with the
+// cache enabled the decoded sample is retained (the cache owns it) and every
+// caller receives a private clone, because the pairwise merges consume their
+// inputs. Invalidation is generation-guarded: bumping the generation before
+// dropping a cache entry guarantees that an in-flight fetch started before
+// the invalidation can never re-insert the stale sample after it.
+type loader[V comparable] struct {
+	store storage.Store[V]
+
+	mu      sync.Mutex
+	gen     uint64 // invalidation epoch; bumped by every invalidation
+	flights map[string]*flight[V]
+	cache   *samplecache.Cache[V]
+	workers int
+
+	o loadObs
+}
+
+// flight is one in-progress store fetch other loads can join.
+type flight[V comparable] struct {
+	done    chan struct{}
+	gen     uint64 // loader generation when the fetch began
+	waiters int    // joiners; leader must clone if > 0
+	s       *core.Sample[V]
+	err     error
+}
+
+func newLoader[V comparable](store storage.Store[V]) *loader[V] {
+	return &loader[V]{
+		store:   store,
+		flights: make(map[string]*flight[V]),
+		workers: resolveLoadWorkers(0),
+	}
+}
+
+// instrument routes the loader's metrics through reg (nil reverts to no-op).
+func (l *loader[V]) instrument(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o = newLoadObs(reg)
+	l.cache.Instrument(reg)
+}
+
+// configure applies a QueryConfig: swaps in a fresh cache sized to the new
+// budget and resets the worker bound. reg instruments the new cache.
+func (l *loader[V]) configure(cfg QueryConfig, reg *obs.Registry) {
+	cache := samplecache.New[V](cfg.CacheBytes)
+	cache.Instrument(reg)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gen++ // orphan in-flight fetches aimed at the old cache
+	l.cache = cache
+	l.workers = resolveLoadWorkers(cfg.LoadWorkers)
+}
+
+// stats returns the current cache counters (all zero with caching disabled).
+func (l *loader[V]) stats() samplecache.Stats {
+	l.mu.Lock()
+	cache := l.cache
+	l.mu.Unlock()
+	return cache.Stats()
+}
+
+// invalidate drops key from the cache and orphans any in-flight fetch of it.
+// The generation bump happens before the cache delete: a fetch that completes
+// after this call observes a changed generation and does not re-insert.
+func (l *loader[V]) invalidate(key string) {
+	l.mu.Lock()
+	l.gen++
+	cache := l.cache
+	l.mu.Unlock()
+	cache.Invalidate(key)
+}
+
+// invalidatePrefix is invalidate for every key under prefix (dataset-level).
+func (l *loader[V]) invalidatePrefix(prefix string) {
+	l.mu.Lock()
+	l.gen++
+	cache := l.cache
+	l.mu.Unlock()
+	cache.InvalidatePrefix(prefix)
+}
+
+// reset drops the whole cache (recovery, reconfiguration).
+func (l *loader[V]) reset() {
+	l.mu.Lock()
+	l.gen++
+	cache := l.cache
+	l.mu.Unlock()
+	cache.Reset()
+}
+
+// loadResult pairs one requested key's sample with its fetch error.
+type loadResult[V comparable] struct {
+	s   *core.Sample[V]
+	err error
+}
+
+// load fetches every key, preserving request order in the results (merge
+// determinism depends on it). Fetches run on a worker pool bounded by the
+// configured LoadWorkers; duplicate concurrent fetches coalesce.
+func (l *loader[V]) load(keys []string) []loadResult[V] {
+	res := make([]loadResult[V], len(keys))
+	l.mu.Lock()
+	workers := l.workers
+	l.mu.Unlock()
+	if len(keys) <= 1 || workers <= 1 {
+		for i, k := range keys {
+			res[i].s, res[i].err = l.loadOne(k)
+		}
+		return res
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res[i].s, res[i].err = l.loadOne(k)
+		}(i, k)
+	}
+	wg.Wait()
+	return res
+}
+
+// loadOne returns the decoded sample for key, from cache when possible. The
+// returned sample is private to the caller (safe to consume in a merge).
+func (l *loader[V]) loadOne(key string) (*core.Sample[V], error) {
+	for {
+		l.mu.Lock()
+		if s, ok := l.cache.Get(key); ok {
+			l.mu.Unlock()
+			return s.Clone(), nil
+		}
+		if f, ok := l.flights[key]; ok {
+			if f.gen != l.gen {
+				// The key was invalidated after this fetch began; its result
+				// must not be shared. Wait it out and retry fresh.
+				l.mu.Unlock()
+				<-f.done
+				continue
+			}
+			f.waiters++
+			l.mu.Unlock()
+			l.o.loadDedup.Inc()
+			<-f.done
+			if f.err != nil {
+				return nil, f.err
+			}
+			return f.s.Clone(), nil
+		}
+		f := &flight[V]{done: make(chan struct{}), gen: l.gen}
+		l.flights[key] = f
+		l.mu.Unlock()
+
+		t := l.o.loadNS.Start()
+		f.s, f.err = l.store.Get(key)
+		t.Stop()
+		l.o.partitionLoads.Inc()
+
+		l.mu.Lock()
+		delete(l.flights, key)
+		cached := false
+		if f.err == nil && l.cache != nil && f.gen == l.gen {
+			// The cache takes ownership of the decoded sample; readers clone.
+			l.cache.Put(key, f.s)
+			cached = true
+		}
+		waiters := f.waiters
+		cache := l.cache
+		l.mu.Unlock()
+		close(f.done)
+
+		if f.err != nil {
+			// Defensive: a failed fetch (e.g. quarantined corruption) must
+			// never leave an entry behind.
+			cache.Invalidate(key)
+			return nil, f.err
+		}
+		if cached || waiters > 0 {
+			return f.s.Clone(), nil
+		}
+		// Sole uncached reader: the store already handed us a private copy.
+		return f.s, nil
+	}
+}

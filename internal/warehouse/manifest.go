@@ -142,6 +142,7 @@ func Open[V comparable](store storage.Store[V], seed uint64) (*Warehouse[V], *Re
 		blob:  blob,
 		rng:   randx.New(seed),
 		sets:  make(map[string]*dataset, len(m.Datasets)),
+		ld:    newLoader(store),
 	}
 	for name, md := range m.Datasets {
 		alg, err := parseAlgorithm(md.Algorithm)
@@ -186,6 +187,9 @@ func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// The reconciliation may drop partitions; anything cached for them is
+	// stale. Reset the whole read cache rather than track fine-grained keys.
+	w.ld.reset()
 	rep := &RecoveryReport{}
 	claimed := make(map[string]bool)
 	changed := false

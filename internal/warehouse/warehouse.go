@@ -16,6 +16,7 @@ import (
 	"samplewh/internal/core"
 	"samplewh/internal/obs"
 	"samplewh/internal/randx"
+	"samplewh/internal/samplecache"
 	"samplewh/internal/storage"
 )
 
@@ -100,7 +101,13 @@ type Warehouse[V comparable] struct {
 	blob storage.BlobStore
 	rng  *randx.RNG
 	sets map[string]*dataset
-	o    whObs
+	// ld is the read-path fetch layer: bounded-concurrency store loads with
+	// singleflight dedup and the optional read-through sample cache.
+	ld *loader[V]
+	// mergeWorkers is the resolved QueryConfig.MergeWorkers (0 = GOMAXPROCS,
+	// applied at merge time).
+	mergeWorkers int
+	o            whObs
 }
 
 type dataset struct {
@@ -116,7 +123,25 @@ func New[V comparable](store storage.Store[V], seed uint64) *Warehouse[V] {
 		store: store,
 		rng:   randx.New(seed),
 		sets:  make(map[string]*dataset),
+		ld:    newLoader(store),
 	}
+}
+
+// SetQueryConfig applies read-path tuning: the decoded-sample cache budget,
+// the partition-load worker bound, and the merge parallelism (see QueryConfig
+// and DESIGN.md §9). The zero QueryConfig restores the defaults (caching
+// disabled). Any existing cache contents are discarded.
+func (w *Warehouse[V]) SetQueryConfig(cfg QueryConfig) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mergeWorkers = cfg.MergeWorkers
+	w.ld.configure(cfg, w.o.reg)
+}
+
+// CacheStats returns the read-path sample cache counters (all zero while
+// caching is disabled).
+func (w *Warehouse[V]) CacheStats() samplecache.Stats {
+	return w.ld.stats()
 }
 
 // Instrument routes the warehouse's metrics and events into reg: partition
@@ -128,6 +153,7 @@ func (w *Warehouse[V]) Instrument(reg *obs.Registry) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.o = newWHObs(reg)
+	w.ld.instrument(reg)
 }
 
 // CreateDataset registers a data set. It errors if the name is empty,
@@ -250,6 +276,7 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 		w.o.fail("roll-in", dataset, partitionID, err)
 		return err
 	}
+	w.ld.invalidate(w.key(dataset, partitionID))
 	if !replay {
 		ds.partitions = append(ds.partitions, partitionID)
 	}
@@ -304,6 +331,7 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 		ds.partitions = ds.partitions[:len(ds.partitions)-1]
 		return err
 	}
+	w.ld.invalidate(w.key(dataset, partitionID))
 	w.o.attaches.Inc()
 	w.o.reg.Gauge("warehouse." + dataset + ".partitions").Set(int64(len(ds.partitions)))
 	w.o.partitionEvent(obs.EvRollIn, dataset, partitionID,
@@ -341,6 +369,7 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 		w.o.fail("roll-out", dataset, partitionID, err)
 		return err
 	}
+	w.ld.invalidate(w.key(dataset, partitionID))
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
 	if err := w.saveManifest(); err != nil {
 		return err
@@ -377,7 +406,8 @@ func (w *Warehouse[V]) Info(dataset, partitionID string) (PartitionInfo, error) 
 	}, nil
 }
 
-// PartitionSample returns a copy of one partition's stored sample.
+// PartitionSample returns a copy of one partition's stored sample. It reads
+// through the sample cache when one is configured.
 func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sample[V], error) {
 	w.mu.RLock()
 	_, ok := w.sets[dataset]
@@ -385,7 +415,7 @@ func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sampl
 	if !ok {
 		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
-	s, err := w.store.Get(w.key(dataset, partitionID))
+	s, err := w.ld.loadOne(w.key(dataset, partitionID))
 	if err != nil {
 		return nil, fmt.Errorf("warehouse: load %s/%s: %w", dataset, partitionID, err)
 	}
@@ -435,13 +465,20 @@ func (w *Warehouse[V]) MergedSamplePartial(dataset string, partitionIDs ...strin
 }
 
 // mergedSample is the shared merge path; partial selects skip-and-report
-// semantics for unreadable partitions.
+// semantics for unreadable partitions. It runs the three read-path layers in
+// order: the loader (bounded-concurrency fetch, singleflight, read-through
+// cache), then the parallel merge executor (see DESIGN.md §9).
 func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, partial bool) (*core.Sample[V], MergeCoverage, error) {
 	var cov MergeCoverage
 	w.mu.RLock()
 	ds, ok := w.sets[dataset]
 	var ids []string
+	var alg Algorithm
+	mergeWorkers := w.mergeWorkers
 	if ok {
+		// Snapshot everything read from the dataset under the lock — the
+		// algorithm too, not just the partition list.
+		alg = ds.cfg.Algorithm
 		if len(partitionIDs) == 0 {
 			ids = append([]string(nil), ds.partitions...)
 		} else {
@@ -457,15 +494,20 @@ func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, parti
 	}
 	cov.Requested = ids
 	seen := make(map[string]bool, len(ids))
-	samples := make([]*core.Sample[V], 0, len(ids))
-	for _, id := range ids {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
 		if seen[id] {
 			return nil, cov, fmt.Errorf("warehouse: duplicate partition %q in merge set", id)
 		}
 		seen[id] = true
-		s, err := w.store.Get(w.key(dataset, id))
-		if err != nil {
-			err = fmt.Errorf("warehouse: merge %s: load %s: %w", dataset, id, err)
+		keys[i] = w.key(dataset, id)
+	}
+	results := w.ld.load(keys)
+	samples := make([]*core.Sample[V], 0, len(ids))
+	for i, r := range results {
+		id := ids[i]
+		if r.err != nil {
+			err := fmt.Errorf("warehouse: merge %s: load %s: %w", dataset, id, r.err)
 			w.o.fail("merge", dataset, id, err)
 			if !partial {
 				return nil, cov, err
@@ -474,7 +516,7 @@ func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, parti
 			w.o.skippedPartitions.Inc()
 			continue
 		}
-		samples = append(samples, s)
+		samples = append(samples, r.s)
 		cov.Merged = append(cov.Merged, id)
 	}
 	if len(samples) == 0 {
@@ -486,16 +528,17 @@ func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, parti
 	src := w.rng.Split()
 	w.mu.Unlock()
 
+	workers := resolveMergeWorkers(mergeWorkers)
 	t := w.o.mergeNS.Start()
 	var merged *core.Sample[V]
 	var err error
-	switch ds.cfg.Algorithm {
+	switch alg {
 	case AlgSB:
-		merged, err = core.MergeTree(samples, core.SBMerge[V], src)
+		merged, err = core.MergeTreeParallel(samples, core.SBMerge[V], src, workers)
 	case AlgHB:
-		merged, err = core.MergeTree(samples, core.HBMerge[V], src)
+		merged, err = core.MergeTreeParallel(samples, core.HBMerge[V], src, workers)
 	default:
-		merged, err = core.MergeTree(samples, core.HRMerge[V], src)
+		merged, err = core.MergeTreeParallel(samples, core.HRMerge[V], src, workers)
 	}
 	ns := t.Stop()
 	if err != nil {

@@ -41,6 +41,7 @@ import (
 	"samplewh/internal/histogram"
 	"samplewh/internal/obs"
 	"samplewh/internal/randx"
+	"samplewh/internal/samplecache"
 	"samplewh/internal/storage"
 	"samplewh/internal/stream"
 	"samplewh/internal/warehouse"
@@ -196,7 +197,9 @@ func MergeToSize[V comparable](s1, s2 *Sample[V], k int64, src Source) (*Sample[
 }
 
 // MergeTreeParallel is MergeTree with each level's independent pairwise
-// merges executed concurrently; deterministic for a fixed seed.
+// merges executed concurrently. Randomness is pre-assigned per tree position,
+// so the result is byte-identical to the sequential MergeTree for the same
+// seed, at any parallelism.
 func MergeTreeParallel[V comparable](samples []*Sample[V], merge MergeFunc[V], src Source, parallelism int) (*Sample[V], error) {
 	return core.MergeTreeParallel(samples, merge, src, parallelism)
 }
@@ -307,6 +310,15 @@ type SkippedPartition = warehouse.SkippedPartition
 // it into the result and which were skipped.
 type MergeCoverage = warehouse.MergeCoverage
 
+// QueryConfig tunes the warehouse read path: the decoded-sample cache budget
+// (bytes of sample footprint; 0 disables caching), the partition-load worker
+// pool, and the merge-tree parallelism. Apply with Warehouse.SetQueryConfig.
+type QueryConfig = warehouse.QueryConfig
+
+// CacheStats is a point-in-time snapshot of the read-path sample cache
+// counters, returned by Warehouse.CacheStats.
+type CacheStats = samplecache.Stats
+
 // GenericStore is the persistence contract for warehouses over arbitrary
 // value types.
 type GenericStore[V comparable] = storage.Store[V]
@@ -408,28 +420,34 @@ func NewShadow(full *FullWarehouse, samples *Warehouse) *Shadow {
 	return fullwh.NewShadow(full, samples)
 }
 
+// SamplerFactory builds the sampler for partition index i covering expectedN
+// elements. The stream package is generic over the value type (see
+// stream.SamplerFactory); this alias keeps the facade's historical int64
+// signature.
+type SamplerFactory = stream.SamplerFactory[int64]
+
 // Splitter fans one stream out over parallel samplers.
-type Splitter = stream.Splitter
+type Splitter = stream.Splitter[int64]
 
 // NewSplitter builds a splitter over w samplers created by factory.
-func NewSplitter(w int, factory stream.SamplerFactory) *Splitter {
+func NewSplitter(w int, factory SamplerFactory) *Splitter {
 	return stream.NewSplitter(w, factory)
 }
 
 // TemporalPartitioner cuts a stream into fixed-length partitions.
-type TemporalPartitioner = stream.TemporalPartitioner
+type TemporalPartitioner = stream.TemporalPartitioner[int64]
 
 // NewTemporalPartitioner cuts a partition after every `every` values.
-func NewTemporalPartitioner(every int64, factory stream.SamplerFactory) *TemporalPartitioner {
+func NewTemporalPartitioner(every int64, factory SamplerFactory) *TemporalPartitioner {
 	return stream.NewTemporalPartitioner(every, factory)
 }
 
 // RatioPartitioner finalizes a partition whenever the sampling fraction
 // would drop below a lower bound (paper §2's on-the-fly partitioning).
-type RatioPartitioner = stream.RatioPartitioner
+type RatioPartitioner = stream.RatioPartitioner[int64]
 
 // NewRatioPartitioner builds a ratio-triggered partitioner.
-func NewRatioPartitioner(minFraction float64, minSize int64, factory stream.SamplerFactory) (*RatioPartitioner, error) {
+func NewRatioPartitioner(minFraction float64, minSize int64, factory SamplerFactory) (*RatioPartitioner, error) {
 	return stream.NewRatioPartitioner(minFraction, minSize, factory)
 }
 
@@ -484,6 +502,7 @@ const (
 	EvQuarantine      = obs.EvQuarantine
 	EvPartialMerge    = obs.EvPartialMerge
 	EvRecovery        = obs.EvRecovery
+	EvCacheEvict      = obs.EvCacheEvict
 )
 
 // defaultMetrics backs DefaultMetrics and Snapshot for single-registry

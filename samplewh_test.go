@@ -398,3 +398,69 @@ func TestFacadeGenericWarehouseStrings(t *testing.T) {
 		t.Fatal("string warehouse lost data")
 	}
 }
+
+func TestFacadeQueryPath(t *testing.T) {
+	wh := NewWarehouse(NewMemStore(), 8)
+	if err := wh.CreateDataset("t", DatasetConfig{Algorithm: AlgHR, Core: ConfigForNF(64)}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		smp, err := wh.NewSampler("t", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(p * 1000); v < int64(p+1)*1000; v++ {
+			smp.Feed(v)
+		}
+		s, err := smp.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wh.RollIn("t", "p"+string(rune('0'+p)), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wh.SetQueryConfig(QueryConfig{CacheBytes: 1 << 20, MergeWorkers: 2})
+	for i := 0; i < 3; i++ {
+		m, err := wh.MergedSample("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Size() != 64 {
+			t.Fatalf("size = %d", m.Size())
+		}
+	}
+	st := wh.CacheStats()
+	if st.Entries != 4 || st.Hits < 8 {
+		t.Fatalf("cache stats = %+v, want 4 entries and >= 8 hits", st)
+	}
+}
+
+func TestFacadeMergeTreeParallelIdentical(t *testing.T) {
+	build := func() []*Sample[int64] {
+		var samples []*Sample[int64]
+		for p := 0; p < 5; p++ {
+			hr := NewHRSampler[int64](ConfigForNF(32), uint64(p+1))
+			for v := int64(0); v < 500; v++ {
+				hr.Feed(v)
+			}
+			s, err := hr.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, s)
+		}
+		return samples
+	}
+	serial, err := MergeTree(build(), HRMerge[int64], NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MergeTreeParallel(build(), HRMerge[int64], NewRNG(99), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Hist.Equal(par.Hist) || serial.ParentSize != par.ParentSize {
+		t.Fatal("parallel merge diverged from sequential merge")
+	}
+}
