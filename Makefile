@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query fuzz
+.PHONY: check fmt vet build test bench bench-query bench-serve smoke-serve fuzz
 
 check: fmt vet build test
 
@@ -30,6 +30,18 @@ bench:
 # parallelism at 64 partitions, written to BENCH_query.json.
 bench-query:
 	go run ./cmd/swbench -exp querypath -qparts 16,64 -qworkers 1,4,16 -json BENCH_query.json
+
+# Serving-layer benchmark (DESIGN.md §10): closed-loop client ladder against
+# a live loopback server — latency quantiles and shed rate per client count,
+# written to BENCH_serve.json.
+bench-serve:
+	go run ./cmd/swbench -exp serve -sclients 1,2,4,8,16,32 -sdur 2s -json BENCH_serve.json
+
+# Boot a real swd, hit every endpoint once with curl + swcli query, then
+# SIGTERM it and require a clean drain (exit 0). The one-query-per-endpoint
+# pass is the serving subsystem's CI smoke test.
+smoke-serve:
+	./scripts/smoke-serve.sh
 
 # Short fuzz pass over the binary sample codec (decode must never panic and
 # must reject corrupted inputs). Override FUZZTIME for longer campaigns.

@@ -11,7 +11,8 @@
 //	uniformity  chi-square uniformity audit of all three pipelines
 //	faults      fault-injection drill: transient storm + bit-rot degradation
 //	querypath   read-path scaling: cold vs warm cache, merge parallelism
-//	all         everything above except faults and querypath
+//	serve       serving-layer ladder: client-observed latency quantiles + shed rate
+//	all         everything above except faults, querypath and serve
 //
 // The defaults run a laptop-scale configuration; pass -full for the paper's
 // original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
@@ -42,6 +43,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"samplewh/internal/experiments"
 	"samplewh/internal/obs"
@@ -65,7 +67,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -79,6 +81,8 @@ func main() {
 		trials      = flag.Int("trials", 0, "trials for concise/uniformity experiments")
 		qparts      = flag.String("qparts", "16,64", "querypath experiment: comma-separated partition counts")
 		qworkers    = flag.String("qworkers", "1,4,16", "querypath experiment: comma-separated merge worker counts")
+		sclients    = flag.String("sclients", "1,2,4,8,16,32", "serve experiment: comma-separated client counts")
+		sdur        = flag.Duration("sdur", 2*time.Second, "serve experiment: duration per client count")
 		faultRate   = flag.Float64("fault-rate", 0.2, "faults experiment: transient failure probability per store op")
 		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
@@ -179,6 +183,9 @@ func main() {
 			return emit(name, r, err)
 		case "querypath":
 			r, err := experiments.QueryPath(parseInts(*qparts), parseInts(*qworkers), opt)
+			return emit(name, r, err)
+		case "serve":
+			r, err := experiments.Serve(parseInts(*sclients), *sdur, opt)
 			return emit(name, r, err)
 		case "uniformity":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {

@@ -13,10 +13,18 @@
 //	swcli -dir wh estimate -ds orders -q avg
 //	swcli -dir wh estimate -ds orders -q count:100..5000
 //	swcli -dir wh rollout -ds orders -part day1
+//
+// The query subcommand is the remote counterpart of estimate: it speaks
+// HTTP/JSON to a running swd daemon instead of opening a warehouse directory:
+//
+//	swcli query -addr http://127.0.0.1:8385
+//	swcli query -addr http://127.0.0.1:8385 -ds orders -q avg
+//	swcli query -addr http://127.0.0.1:8385 -ds orders -q quantile:0.99 -part day1,day2
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -27,10 +35,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
 	"samplewh/internal/obs"
+	"samplewh/internal/server"
 	"samplewh/internal/storage"
 	"samplewh/internal/warehouse"
 )
@@ -50,9 +60,17 @@ type catalogEntry struct {
 }
 
 func main() {
-	dir := flag.String("dir", "", "warehouse directory (required)")
+	dir := flag.String("dir", "", "warehouse directory (required except for query)")
 	metrics := flag.Bool("metrics", false, "instrument the warehouse and print a metrics report to stderr")
 	flag.Parse()
+	// query speaks HTTP to a running swd; it needs no local warehouse, so it
+	// dispatches before the -dir requirement.
+	if flag.Arg(0) == "query" {
+		if err := query(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *dir == "" || flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -110,7 +128,9 @@ commands:
   merge    -ds NAME [-part ID1,ID2,...]
   estimate -ds NAME [-part IDS] -q QUERY   (avg | sum | median | distinct | topk:K | count:LO..HI)
   rollout  -ds NAME -part ID
-  fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog)`)
+  fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog)
+  query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
+           [-confidence 0.95] [-json]   (against a running swd; no -dir needed)`)
 }
 
 func fatal(err error) {
@@ -659,4 +679,112 @@ func (c *cli) fsck(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("fsck: %d problem(s) found", problems)
+}
+
+// query speaks to a running swd daemon. Without -ds it lists the served data
+// sets; with -ds alone it describes one; with -q it answers an approximate
+// query, surfacing the confidence interval and merge coverage.
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8385", "swd base URL")
+	ds := fs.String("ds", "", "data set name")
+	q := fs.String("q", "", "query: avg | sum | median | distinct | count:LO..HI | fraction:LO..HI | quantile:Q | topk:K | groupby:DIV")
+	part := fs.String("part", "", "comma-separated partition ids (default all)")
+	strict := fs.Bool("strict", false, "fail instead of degrading when a partition is unreadable")
+	timeout := fs.Duration("timeout", 0, "server-side deadline (0 = server default)")
+	confidence := fs.Float64("confidence", 0, "confidence level (0 = server default 0.95)")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	fs.Parse(args)
+	if *q != "" && *ds == "" {
+		return fmt.Errorf("query: -q requires -ds")
+	}
+
+	cl := server.NewClient(*addr, nil)
+	ctx := context.Background()
+	if *timeout > 0 {
+		// The client-side deadline mirrors the server-side one, padded so the
+		// server's 504 (with its diagnostic body) wins the race.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout+5*time.Second)
+		defer cancel()
+	}
+	opts := server.QueryOpts{Strict: *strict, Timeout: *timeout, Confidence: *confidence}
+	if *part != "" {
+		for _, p := range strings.Split(*part, ",") {
+			opts.Parts = append(opts.Parts, strings.TrimSpace(p))
+		}
+	}
+
+	printJSON := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+
+	switch {
+	case *ds == "":
+		infos, err := cl.Datasets(ctx)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printJSON(infos)
+		}
+		if len(infos) == 0 {
+			fmt.Println("(no data sets)")
+			return nil
+		}
+		for _, info := range infos {
+			fmt.Printf("%s  alg=%s nF=%d partitions=%d\n", info.Name, info.Algorithm, info.NF, len(info.Partitions))
+		}
+		return nil
+	case *q == "":
+		info, err := cl.Dataset(ctx, *ds)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printJSON(info)
+		}
+		fmt.Printf("%s  alg=%s nF=%d\n", info.Name, info.Algorithm, info.NF)
+		fmt.Printf("partitions (%d): %s\n", len(info.Partitions), strings.Join(info.Partitions, ", "))
+		return nil
+	default:
+		resp, err := cl.Estimate(ctx, *ds, *q, opts)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printJSON(resp)
+		}
+		switch {
+		case resp.Estimate != nil:
+			fmt.Printf("%s ≈ %.6g  [%.6g, %.6g] @ %g%% confidence\n",
+				strings.ToUpper(*q), resp.Estimate.Value, resp.Estimate.Lo, resp.Estimate.Hi, 100*resp.Confidence)
+		case resp.Quantile != nil:
+			fmt.Printf("%s ≈ %d\n", strings.ToUpper(*q), *resp.Quantile)
+		case resp.Distinct != nil:
+			fmt.Printf("DISTINCT: in-sample=%d chao1≈%.0f gee≈%.0f\n",
+				resp.Distinct.InSample, resp.Distinct.Chao1, resp.Distinct.GEE)
+		case resp.TopK != nil:
+			for i, fe := range resp.TopK {
+				fmt.Printf("%2d. value=%-12d est_freq≈%.0f (sample %d)\n", i+1, fe.Value, fe.Estimated, fe.InSample)
+			}
+		case resp.Groups != nil:
+			for _, g := range resp.Groups {
+				fmt.Printf("group %-10d count ≈ %.6g [%.6g, %.6g]\n", g.Key, g.Count.Value, g.Count.Lo, g.Count.Hi)
+			}
+		}
+		fmt.Printf("sample: %s of %d values (parent %d, fraction %.6f); served in %.2fms\n",
+			resp.Sample.Kind, resp.Sample.Size, resp.Sample.ParentSize, resp.Sample.Fraction,
+			float64(resp.ElapsedNS)/1e6)
+		if resp.Coverage.Partial {
+			fmt.Printf("WARNING: partial answer — merged %d/%d partitions", len(resp.Coverage.Merged), len(resp.Coverage.Requested))
+			for _, sk := range resp.Coverage.Skipped {
+				fmt.Printf("; skipped %s (%s)", sk.ID, sk.Reason)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
 }

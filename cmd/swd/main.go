@@ -1,0 +1,196 @@
+// Command swd is the sample-warehouse daemon: it serves a file-backed (or
+// in-memory) warehouse over HTTP/JSON with admission control, per-request
+// deadlines and graceful drain — the serving layer of the paper's Figure 1
+// warehouse, answering approximate queries with confidence intervals and
+// explicit merge coverage.
+//
+// Endpoints (see README.md "Running the server" for a curl walkthrough):
+//
+//	GET    /healthz                                   liveness (fails while draining)
+//	GET    /metricsz                                  metrics snapshot (JSON)
+//	GET    /v1/datasets                               list data sets
+//	POST   /v1/datasets                               create a data set
+//	GET    /v1/datasets/{ds}                          describe one data set
+//	GET    /v1/datasets/{ds}/partitions/{part}        partition sample metadata
+//	PUT    /v1/datasets/{ds}/partitions/{part}        roll-in ingest (text values, one per line)
+//	DELETE /v1/datasets/{ds}/partitions/{part}        roll-out
+//	GET    /v1/datasets/{ds}/sample                   merged sample of a partition subset
+//	GET    /v1/datasets/{ds}/estimate                 approximate query with confidence interval
+//
+// Usage:
+//
+//	swd -dir /var/lib/swd -addr :8385
+//	swd -mem -addr 127.0.0.1:8385 -cache 128MiB... (flags below)
+//
+// SIGTERM or SIGINT begins graceful drain: the health check starts failing,
+// the listener closes, in-flight requests run to completion (bounded by
+// -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samplewh/internal/obs"
+	"samplewh/internal/server"
+	"samplewh/internal/storage"
+	"samplewh/internal/warehouse"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8385", "listen address")
+		dir          = flag.String("dir", "", "warehouse directory (file-backed, durable catalog)")
+		mem          = flag.Bool("mem", false, "serve an ephemeral in-memory warehouse instead of -dir")
+		seed         = flag.Uint64("seed", 0x535744, "base RNG seed for merge randomness")
+		cacheBytes   = flag.Int64("cache", 64<<20, "decoded-sample cache budget in bytes (0 disables)")
+		loadWorkers  = flag.Int("load-workers", 0, "partition-load workers per merge (0 = 4×GOMAXPROCS)")
+		mergeWorkers = flag.Int("merge-workers", 0, "parallel merge workers (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "ceiling for client-requested ?timeout=")
+		queryLimit   = flag.Int("query-limit", 0, "concurrent merge/estimate requests (0 = GOMAXPROCS)")
+		ingestLimit  = flag.Int("ingest-limit", 4, "concurrent ingest requests")
+		readLimit    = flag.Int("read-limit", 64, "concurrent introspection requests")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue depth per class (0 = 2×limit)")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "max queued time before a request is shed")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+		events       = flag.Int("events", 256, "trace-event ring buffer size (0 disables tracing)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dir, *mem, *seed, serverOpts{
+		cacheBytes: *cacheBytes, loadWorkers: *loadWorkers, mergeWorkers: *mergeWorkers,
+		cfg: server.Config{
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			QueryLimit:     *queryLimit,
+			IngestLimit:    *ingestLimit,
+			ReadLimit:      *readLimit,
+			QueueDepth:     *queueDepth,
+			QueueWait:      *queueWait,
+		},
+		drainTimeout: *drainTimeout,
+		events:       *events,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "swd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type serverOpts struct {
+	cacheBytes   int64
+	loadWorkers  int
+	mergeWorkers int
+	cfg          server.Config
+	drainTimeout time.Duration
+	events       int
+}
+
+// logf writes one timestamped operational log line to stderr.
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s swd: %s\n", time.Now().Format(time.RFC3339), fmt.Sprintf(format, args...))
+}
+
+func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
+	if (dir == "") == !mem {
+		return errors.New("exactly one of -dir or -mem is required")
+	}
+
+	reg := obs.NewRegistry()
+	var sink *obs.MemorySink
+	if opts.events > 0 {
+		sink = obs.NewMemorySink(opts.events)
+		reg.SetSink(sink)
+	}
+
+	// Build the warehouse: durable file-backed catalog (reconciled on open)
+	// or an ephemeral in-memory one.
+	var wh *warehouse.Warehouse[int64]
+	if mem {
+		st := storage.NewMemStore[int64]()
+		st.Instrument(reg)
+		w, report, err := warehouse.Open[int64](st, seed)
+		if err != nil {
+			return fmt.Errorf("open in-memory warehouse: %w", err)
+		}
+		if !report.Clean() {
+			logf("recovery: %s", report)
+		}
+		wh = w
+	} else {
+		st, err := storage.NewFileStore[int64](dir, storage.Int64Codec{})
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		st.Instrument(reg)
+		w, report, err := warehouse.Open[int64](st, seed)
+		if err != nil {
+			return fmt.Errorf("open warehouse: %w", err)
+		}
+		if !report.Clean() {
+			logf("recovery: %s", report)
+		}
+		wh = w
+	}
+	wh.Instrument(reg)
+	wh.SetQueryConfig(warehouse.QueryConfig{
+		CacheBytes:   opts.cacheBytes,
+		LoadWorkers:  opts.loadWorkers,
+		MergeWorkers: opts.mergeWorkers,
+	})
+
+	opts.cfg.Registry = reg
+	srv := server.New(wh, opts.cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-loris protection; request bodies are separately deadline-bound
+		// by the handler contexts.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain: SIGTERM/SIGINT → health fails, listener closes,
+	// in-flight requests complete (bounded by drainTimeout). A second
+	// signal aborts immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logf("listening on http://%s (datasets=%d)", ln.Addr(), len(wh.Datasets()))
+
+	select {
+	case sig := <-sigCh:
+		logf("received %s, draining (timeout %s)", sig, opts.drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+		defer cancel()
+		go func() {
+			<-sigCh
+			logf("second signal, aborting drain")
+			cancel()
+		}()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		srv.FinishDrain()
+		logf("drained cleanly (%d requests served)", srv.Served())
+		return nil
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
+}

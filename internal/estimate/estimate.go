@@ -33,12 +33,16 @@ func zCrit(confidence float64) (float64, error) {
 	}
 }
 
-// Estimate is a point estimate with a normal-theory confidence interval.
+// Estimate is a point estimate with a normal-theory confidence interval. It
+// marshals to JSON so serving layers (cmd/swd) can return it verbatim.
 type Estimate struct {
-	Value  float64
-	StdErr float64
-	Lo, Hi float64 // confidence bounds
-	Exact  bool    // true when derived from an exhaustive sample
+	Value  float64 `json:"value"`
+	StdErr float64 `json:"stderr"`
+	// Lo and Hi are the confidence bounds.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Exact is true when derived from an exhaustive sample.
+	Exact bool `json:"exact"`
 }
 
 // String renders the estimate.
@@ -244,9 +248,9 @@ func (e *Estimator[V]) DistinctGEE() float64 {
 
 // FreqEntry is one value with its estimated data-set frequency.
 type FreqEntry[V comparable] struct {
-	Value     V
-	Estimated float64 // estimated occurrences in the full data set
-	InSample  int64   // occurrences in the sample
+	Value     V       `json:"value"`
+	Estimated float64 `json:"estimated"` // estimated occurrences in the full data set
+	InSample  int64   `json:"in_sample"` // occurrences in the sample
 }
 
 // TopK returns the k most frequent sample values with their frequencies
@@ -287,9 +291,9 @@ func Diff(a, b Estimate) Estimate {
 
 // GroupResult is one group's estimated aggregate.
 type GroupResult[K comparable] struct {
-	Key   K
-	Count Estimate // estimated number of data-set elements in the group
-	Share Estimate // estimated fraction of the data set in the group
+	Key   K        `json:"key"`
+	Count Estimate `json:"count"` // estimated number of data-set elements in the group
+	Share Estimate `json:"share"` // estimated fraction of the data set in the group
 }
 
 // GroupBy estimates a GROUP BY COUNT(*) over the data set: values are
@@ -428,15 +432,15 @@ func JoinSizeEstimate[V comparable](a, b *core.Sample[V]) (float64, error) {
 // candidates or fuzzy inclusion dependencies, paper [3], [15]).
 type Resemblance struct {
 	// Jaccard is |A ∩ B| / |A ∪ B| over the sampled distinct-value sets.
-	Jaccard float64
+	Jaccard float64 `json:"jaccard"`
 	// ContainmentAinB is |A ∩ B| / |A| (fraction of A's sampled values
 	// also seen in B).
-	ContainmentAinB float64
+	ContainmentAinB float64 `json:"containment_a_in_b"`
 	// ContainmentBinA is |A ∩ B| / |B|.
-	ContainmentBinA float64
+	ContainmentBinA float64 `json:"containment_b_in_a"`
 	// CommonValues is the number of distinct values observed in both
 	// samples.
-	CommonValues int
+	CommonValues int `json:"common_values"`
 }
 
 // ValueSetResemblance estimates the distinct-value overlap between the data

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samplewh/internal/obs"
+	"samplewh/internal/server"
+	"samplewh/internal/storage"
+	"samplewh/internal/warehouse"
+	"samplewh/internal/workload"
+)
+
+// Serve benchmarks the HTTP serving layer (DESIGN.md §10) end to end: a real
+// swd-equivalent server on a loopback listener, driven closed-loop by a
+// ladder of concurrent clients issuing estimate queries back-to-back. Each
+// rung reports client-observed latency quantiles (p50/p95/p99, computed
+// exactly from every request's duration) plus the shed rate, so the table
+// shows the admission controller's contract: past saturation, throughput
+// plateaus and the excess turns into fast 429s instead of latency collapse.
+//
+// The query class is deliberately constrained (QueryLimit 2, queue depth 2)
+// so the ladder crosses saturation at laptop scale; the absolute numbers are
+// loopback-only, the shape is the point.
+func Serve(clients []int, dur time.Duration, opt Options) (*Report, error) {
+	opt = opt.normalized()
+	if len(clients) == 0 {
+		clients = []int{1, 2, 4, 8, 16, 32}
+	}
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	const parts = 16
+
+	reg := opt.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	wh := warehouse.New[int64](storage.NewMemStore[int64](), opt.Seed)
+	wh.Instrument(reg)
+	wh.SetQueryConfig(warehouse.QueryConfig{CacheBytes: 64 << 20})
+	spec := workload.Spec{Dist: workload.Zipfian, N: int64(parts) * 4 * opt.NF, Seed: opt.Seed, ZipfValues: 1 << 16}
+	cfg := warehouse.DatasetConfig{Algorithm: warehouse.AlgHR, Core: opt.config()}
+	if err := wh.CreateDataset("serve", cfg); err != nil {
+		return nil, fmt.Errorf("serve: create dataset: %w", err)
+	}
+	for i, g := range workload.Partitions(spec, parts) {
+		smp, err := wh.NewSampler("serve", 0)
+		if err != nil {
+			return nil, fmt.Errorf("serve: sampler: %w", err)
+		}
+		for {
+			v, ok := g.Next()
+			if !ok {
+				break
+			}
+			smp.Feed(v)
+		}
+		s, err := smp.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("serve: finalize p%d: %w", i, err)
+		}
+		if err := wh.RollIn("serve", fmt.Sprintf("p%d", i), s); err != nil {
+			return nil, fmt.Errorf("serve: roll-in p%d: %w", i, err)
+		}
+	}
+
+	srv := server.New(wh, server.Config{
+		DefaultTimeout: 5 * time.Second,
+		QueryLimit:     2,
+		QueueDepth:     2,
+		QueueWait:      5 * time.Millisecond,
+		Registry:       reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	r := &Report{
+		Title:  "Serving layer: closed-loop latency and load shedding",
+		Header: []string{"clients", "reqs", "ok", "shed", "qps", "p50_us", "p95_us", "p99_us", "shed_pct"},
+	}
+	r.Note("loopback listener, QueryLimit=2 queue=2 wait=5ms; quantiles are exact over all OK requests")
+
+	// The query mix alternates cheap and order-statistics work so a slot's
+	// hold time varies like a real workload's.
+	queries := []string{"avg", "quantile:0.95", "count:0..1000000", "distinct"}
+
+	for _, c := range clients {
+		var (
+			mu   sync.Mutex
+			lats []time.Duration
+			oks  atomic.Int64
+			shed atomic.Int64
+		)
+		transport := &http.Transport{MaxIdleConnsPerHost: c}
+		httpc := &http.Client{Transport: transport}
+		stop := time.Now().Add(dur)
+		var wg sync.WaitGroup
+		errCh := make(chan error, c)
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := server.NewClient(base, httpc)
+				local := make([]time.Duration, 0, 1024)
+				for i := 0; time.Now().Before(stop); i++ {
+					q := queries[(w+i)%len(queries)]
+					start := time.Now()
+					_, err := cl.Estimate(context.Background(), "serve", q, server.QueryOpts{})
+					el := time.Since(start)
+					switch {
+					case err == nil:
+						oks.Add(1)
+						local = append(local, el)
+					case server.IsShed(err):
+						shed.Add(1)
+					default:
+						select {
+						case errCh <- fmt.Errorf("serve: client %d: %w", w, err):
+						default:
+						}
+						return
+					}
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		transport.CloseIdleConnections()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		total := oks.Load() + shed.Load()
+		r.Add(c, total, oks.Load(), shed.Load(),
+			float64(oks.Load())/dur.Seconds(),
+			quantileUS(lats, 0.50), quantileUS(lats, 0.95), quantileUS(lats, 0.99),
+			100*float64(shed.Load())/float64(max64(total, 1)))
+	}
+	return r, nil
+}
+
+// quantileUS returns the q-quantile of sorted durations in microseconds.
+func quantileUS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / 1e3
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -44,6 +44,13 @@ const (
 	// EvCacheEvict: the sample cache dropped an entry to stay inside its
 	// byte budget. Labels: "key". Values: "footprint".
 	EvCacheEvict = "cache_evict"
+	// EvShed: the serving layer's admission control rejected a request
+	// because the queue was full or the queue wait expired. Labels: "route".
+	// Values: "inflight".
+	EvShed = "shed"
+	// EvDrain: the server began (or finished) graceful drain. Labels:
+	// "stage" ("begin" or "done"). Values (done): "served".
+	EvDrain = "drain"
 )
 
 // Event is one structured trace record. Component identifies the emitting

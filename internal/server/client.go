@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for a running swd server. It is the single
+// client-side surface shared by swcli's query subcommand, the swbench serve
+// load driver, and the integration tests. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8385"). httpc may be nil for http.DefaultClient.
+func NewClient(base string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpc}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's Retry-After hint on 429 responses (zero
+	// otherwise).
+	RetryAfter time.Duration
+}
+
+// Error renders the failure.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// IsShed reports whether err is a 429 load-shed response.
+func IsShed(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// do issues the request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses decode the error envelope into an APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		var body errorBody
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); derr == nil {
+			ae.Message = body.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// get issues a GET for path with the given query values.
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// Health returns the server's health report (an *APIError with the decoded
+// body when the server is draining).
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.get(ctx, "/healthz", nil, &out)
+	return out, err
+}
+
+// Datasets lists every data set with its configuration and partitions.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	err := c.get(ctx, "/v1/datasets", nil, &out)
+	return out, err
+}
+
+// Dataset describes one data set.
+func (c *Client) Dataset(ctx context.Context, name string) (DatasetInfo, error) {
+	var out DatasetInfo
+	err := c.get(ctx, "/v1/datasets/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// CreateDataset registers a data set.
+func (c *Client) CreateDataset(ctx context.Context, req CreateDatasetRequest) (DatasetInfo, error) {
+	var out DatasetInfo
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/datasets", strings.NewReader(string(body)))
+	if err != nil {
+		return out, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	err = c.do(hreq, &out)
+	return out, err
+}
+
+// PartitionInfo describes one stored partition sample.
+func (c *Client) PartitionInfo(ctx context.Context, ds, part string) (PartitionInfo, error) {
+	var out PartitionInfo
+	err := c.get(ctx, "/v1/datasets/"+url.PathEscape(ds)+"/partitions/"+url.PathEscape(part), nil, &out)
+	return out, err
+}
+
+// Ingest streams values (text, one per line) into a new partition of ds.
+// expected passes the expected partition size (required for HB data sets;
+// 0 otherwise).
+func (c *Client) Ingest(ctx context.Context, ds, part string, expected int64, values io.Reader) (IngestResponse, error) {
+	var out IngestResponse
+	u := c.base + "/v1/datasets/" + url.PathEscape(ds) + "/partitions/" + url.PathEscape(part)
+	if expected > 0 {
+		u += "?expected=" + strconv.FormatInt(expected, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, values)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	err = c.do(req, &out)
+	return out, err
+}
+
+// IngestValues is Ingest for an in-memory value slice.
+func (c *Client) IngestValues(ctx context.Context, ds, part string, expected int64, values []int64) (IngestResponse, error) {
+	var b strings.Builder
+	b.Grow(len(values) * 8)
+	for _, v := range values {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte('\n')
+	}
+	return c.Ingest(ctx, ds, part, expected, strings.NewReader(b.String()))
+}
+
+// RollOut removes a partition.
+func (c *Client) RollOut(ctx context.Context, ds, part string) error {
+	u := c.base + "/v1/datasets/" + url.PathEscape(ds) + "/partitions/" + url.PathEscape(part)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// QueryOpts carries the optional parameters shared by Sample and Estimate.
+type QueryOpts struct {
+	// Parts selects a partition subset (nil = all).
+	Parts []string
+	// Strict fails the merge on any unreadable partition instead of
+	// degrading and reporting coverage.
+	Strict bool
+	// Timeout is the per-request deadline passed to the server (its own
+	// default applies when zero; the server clamps to its max).
+	Timeout time.Duration
+	// Confidence selects the interval level for estimates (0 = 0.95).
+	Confidence float64
+	// Limit caps the value entries of a Sample response (-0 = all).
+	Limit int
+}
+
+func (o QueryOpts) values() url.Values {
+	q := url.Values{}
+	if len(o.Parts) > 0 {
+		q.Set("parts", strings.Join(o.Parts, ","))
+	}
+	if o.Strict {
+		q.Set("partial", "0")
+	}
+	if o.Timeout > 0 {
+		q.Set("timeout", o.Timeout.String())
+	}
+	if o.Confidence > 0 {
+		q.Set("confidence", strconv.FormatFloat(o.Confidence, 'g', -1, 64))
+	}
+	if o.Limit > 0 {
+		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	return q
+}
+
+// Sample retrieves the merged sample of the selected partitions.
+func (c *Client) Sample(ctx context.Context, ds string, opts QueryOpts) (SampleResponse, error) {
+	var out SampleResponse
+	err := c.get(ctx, "/v1/datasets/"+url.PathEscape(ds)+"/sample", opts.values(), &out)
+	return out, err
+}
+
+// Estimate answers an approximate query (see the q grammar in the package
+// docs / handleEstimate) over the merged sample of the selected partitions.
+func (c *Client) Estimate(ctx context.Context, ds, q string, opts QueryOpts) (EstimateResponse, error) {
+	var out EstimateResponse
+	vals := opts.values()
+	vals.Set("q", q)
+	err := c.get(ctx, "/v1/datasets/"+url.PathEscape(ds)+"/estimate", vals, &out)
+	return out, err
+}
+
+// Metrics fetches the server's metrics snapshot as raw JSON.
+func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := c.get(ctx, "/metricsz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,604 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"samplewh/internal/core"
+	"samplewh/internal/estimate"
+	"samplewh/internal/warehouse"
+)
+
+// nowNS is the monotonic-enough clock for ElapsedNS fields.
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Datasets int    `json:"datasets"`
+	Inflight int    `json:"inflight"`
+}
+
+// DatasetInfo describes one data set: GET /v1/datasets and
+// GET /v1/datasets/{ds}.
+type DatasetInfo struct {
+	Name           string   `json:"name"`
+	Algorithm      string   `json:"algorithm"`
+	NF             int64    `json:"nf"`
+	FootprintBytes int64    `json:"footprint_bytes"`
+	ExceedProb     float64  `json:"exceed_prob,omitempty"`
+	SBRate         float64  `json:"sb_rate,omitempty"`
+	Partitions     []string `json:"partitions"`
+}
+
+// CreateDatasetRequest is the POST /v1/datasets body.
+type CreateDatasetRequest struct {
+	Name      string  `json:"name"`
+	Algorithm string  `json:"algorithm,omitempty"` // HR (default), HB or SB
+	NF        int64   `json:"nf,omitempty"`        // default 8192
+	P         float64 `json:"p,omitempty"`         // HB exceedance probability
+	SBRate    float64 `json:"sb_rate,omitempty"`   // SB fixed rate
+}
+
+// PartitionInfo describes one stored partition sample.
+type PartitionInfo struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	SampleSize int64  `json:"sample_size"`
+	ParentSize int64  `json:"parent_size"`
+	Footprint  int64  `json:"footprint"`
+}
+
+// IngestResponse is the PUT partition body: how much was read and what
+// sample it condensed to.
+type IngestResponse struct {
+	Dataset   string     `json:"dataset"`
+	Partition string     `json:"partition"`
+	Read      int64      `json:"read"`
+	Sample    SampleMeta `json:"sample"`
+}
+
+// SampleMeta summarizes a (merged) sample without its values.
+type SampleMeta struct {
+	Kind       string  `json:"kind"`
+	Size       int64   `json:"size"`
+	ParentSize int64   `json:"parent_size"`
+	Fraction   float64 `json:"fraction"`
+	Q          float64 `json:"q,omitempty"`
+	Footprint  int64   `json:"footprint"`
+}
+
+func sampleMeta(s *core.Sample[int64]) SampleMeta {
+	return SampleMeta{
+		Kind:       s.Kind.String(),
+		Size:       s.Size(),
+		ParentSize: s.ParentSize,
+		Fraction:   s.Fraction(),
+		Q:          s.Q,
+		Footprint:  s.Footprint(),
+	}
+}
+
+// SkippedPartition is one partition a degraded merge left out.
+type SkippedPartition struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+}
+
+// Coverage reports which requested partitions a merged answer actually
+// covers. Partial answers are explicit: clients that cannot accept a
+// degraded answer retry with ?partial=0 or inspect Skipped.
+type Coverage struct {
+	Requested []string           `json:"requested"`
+	Merged    []string           `json:"merged"`
+	Skipped   []SkippedPartition `json:"skipped,omitempty"`
+	Partial   bool               `json:"partial"`
+}
+
+func coverage(cov warehouse.MergeCoverage) Coverage {
+	out := Coverage{Requested: cov.Requested, Merged: cov.Merged, Partial: cov.Partial()}
+	for _, sk := range cov.Skipped {
+		out.Skipped = append(out.Skipped, SkippedPartition{ID: sk.ID, Reason: sk.Reason})
+	}
+	return out
+}
+
+// ValueCount is one histogram entry of a returned sample.
+type ValueCount struct {
+	Value int64 `json:"value"`
+	Count int64 `json:"count"`
+}
+
+// SampleResponse is the GET sample body: the merged sample with coverage.
+type SampleResponse struct {
+	Dataset  string       `json:"dataset"`
+	Sample   SampleMeta   `json:"sample"`
+	Coverage Coverage     `json:"coverage"`
+	Values   []ValueCount `json:"values,omitempty"`
+	// Truncated is set when ?limit= cut the value list short.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// DistinctResult carries the three distinct-count estimators.
+type DistinctResult struct {
+	InSample int64   `json:"in_sample"`
+	Chao1    float64 `json:"chao1"`
+	GEE      float64 `json:"gee"`
+}
+
+// EstimateResponse is the GET estimate body. Exactly one of Estimate,
+// Quantile, Distinct, TopK or Groups is populated, per the query kind; every
+// response carries the sample metadata and merge coverage.
+type EstimateResponse struct {
+	Dataset    string                        `json:"dataset"`
+	Query      string                        `json:"query"`
+	Confidence float64                       `json:"confidence"`
+	Estimate   *estimate.Estimate            `json:"estimate,omitempty"`
+	Quantile   *int64                        `json:"quantile,omitempty"`
+	Distinct   *DistinctResult               `json:"distinct,omitempty"`
+	TopK       []estimate.FreqEntry[int64]   `json:"topk,omitempty"`
+	Groups     []estimate.GroupResult[int64] `json:"groups,omitempty"`
+	Sample     SampleMeta                    `json:"sample"`
+	Coverage   Coverage                      `json:"coverage"`
+	ElapsedNS  int64                         `json:"elapsed_ns"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Datasets: len(s.wh.Datasets()), Inflight: s.Inflight()}
+	code := http.StatusOK
+	if s.Draining() {
+		// Failing health during drain makes load balancers de-pool the
+		// instance while in-flight requests finish.
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o.reg == nil {
+		writeError(w, http.StatusNotFound, "server is not instrumented")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.o.reg.Snapshot().JSON())
+}
+
+// datasetInfo assembles the DatasetInfo DTO for one data set.
+func (s *Server) datasetInfo(name string) (DatasetInfo, error) {
+	cfg, err := s.wh.Config(name)
+	if err != nil {
+		return DatasetInfo{}, notFound("unknown data set %q", name)
+	}
+	parts, err := s.wh.Partitions(name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if parts == nil {
+		parts = []string{}
+	}
+	return DatasetInfo{
+		Name:           name,
+		Algorithm:      cfg.Algorithm.String(),
+		NF:             cfg.Core.NF(),
+		FootprintBytes: cfg.Core.FootprintBytes,
+		ExceedProb:     cfg.Core.ExceedProb,
+		SBRate:         cfg.SBRate,
+		Partitions:     parts,
+	}, nil
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) error {
+	names := s.wh.Datasets()
+	out := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		info, err := s.datasetInfo(n)
+		if err != nil {
+			// The data set vanished between list and describe (concurrent
+			// admin op); skip rather than fail the listing.
+			continue
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) error {
+	var req CreateDatasetRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		return badRequest("bad create body: %v", err)
+	}
+	if req.Name == "" {
+		return badRequest("create: name required")
+	}
+	if req.NF == 0 {
+		req.NF = 8192
+	}
+	cc := core.ConfigForNF(req.NF)
+	if req.P != 0 {
+		cc.ExceedProb = req.P
+	}
+	cfg := warehouse.DatasetConfig{Core: cc, SBRate: req.SBRate}
+	switch strings.ToUpper(req.Algorithm) {
+	case "", "HR":
+		cfg.Algorithm = warehouse.AlgHR
+	case "HB":
+		cfg.Algorithm = warehouse.AlgHB
+	case "SB":
+		cfg.Algorithm = warehouse.AlgSB
+		if cfg.SBRate == 0 {
+			cfg.SBRate = 0.01
+		}
+	default:
+		return badRequest("create: unknown algorithm %q (want HR, HB or SB)", req.Algorithm)
+	}
+	if err := s.wh.CreateDataset(req.Name, cfg); err != nil {
+		if strings.Contains(err.Error(), "already exists") {
+			return conflict("%v", err)
+		}
+		return badRequest("%v", err)
+	}
+	info, err := s.datasetInfo(req.Name)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return nil
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) error {
+	info, err := s.datasetInfo(r.PathValue("ds"))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, info)
+	return nil
+}
+
+func (s *Server) handlePartitionInfo(w http.ResponseWriter, r *http.Request) error {
+	ds, part := r.PathValue("ds"), r.PathValue("part")
+	smp, err := s.wh.PartitionSampleContext(r.Context(), ds, part)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, PartitionInfo{
+		ID:         part,
+		Kind:       smp.Kind.String(),
+		SampleSize: smp.Size(),
+		ParentSize: smp.ParentSize,
+		Footprint:  smp.Footprint(),
+	})
+	return nil
+}
+
+// handleIngest is roll-in over HTTP: the body is a stream of int64 values
+// (text, one per line), sampled on the way in through the data set's
+// HB/HR/SB sampler — the server never materializes the raw partition, only
+// its bounded sample. ?expected=N passes the expected partition size
+// (required for HB data sets).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	ds, part := r.PathValue("ds"), r.PathValue("part")
+	expected := int64(0)
+	if raw := r.URL.Query().Get("expected"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return badRequest("bad expected %q", raw)
+		}
+		expected = v
+	}
+	smp, err := s.wh.NewSampler(ds, expected)
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown data set") {
+			return notFound("%v", err)
+		}
+		return badRequest("%v", err)
+	}
+
+	ctx := r.Context()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return badRequest("ingest %s/%s: value %d: %v", ds, part, n+1, err)
+		}
+		smp.Feed(v)
+		n++
+		// The sampler is cheap but the body may be huge; honor the deadline
+		// between batches so a slow client cannot pin an ingest slot forever.
+		if n%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("ingest body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return badRequest("ingest %s/%s: read: %v", ds, part, err)
+	}
+	if n == 0 {
+		return badRequest("ingest %s/%s: no values in body", ds, part)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sample, err := smp.Finalize()
+	if err != nil {
+		return err
+	}
+	if err := s.wh.RollIn(ds, part, sample); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, IngestResponse{
+		Dataset: ds, Partition: part, Read: n, Sample: sampleMeta(sample),
+	})
+	return nil
+}
+
+func (s *Server) handleRollOut(w http.ResponseWriter, r *http.Request) error {
+	ds, part := r.PathValue("ds"), r.PathValue("part")
+	parts, err := s.wh.Partitions(ds)
+	if err != nil {
+		return notFound("unknown data set %q", ds)
+	}
+	found := false
+	for _, p := range parts {
+		if p == part {
+			found = true
+			break
+		}
+	}
+	if !found {
+		// RollOut itself is an idempotent no-op; the API reports the truth.
+		return notFound("partition %s/%s not found", ds, part)
+	}
+	if err := s.wh.RollOut(ds, part); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
+	return nil
+}
+
+// mergeParams resolves the shared merge-query parameters: the partition
+// subset (?parts=a,b; empty = all) and strictness (?partial=0 fails on any
+// unreadable partition; the default degrades and reports coverage).
+func mergeParams(r *http.Request) (ids []string, partial bool, err error) {
+	if raw := r.URL.Query().Get("parts"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				return nil, false, badRequest("empty partition id in parts=%q", raw)
+			}
+			ids = append(ids, f)
+		}
+	}
+	partial = true
+	if raw := r.URL.Query().Get("partial"); raw != "" {
+		v, perr := strconv.ParseBool(raw)
+		if perr != nil {
+			return nil, false, badRequest("bad partial %q", raw)
+		}
+		partial = v
+	}
+	return ids, partial, nil
+}
+
+// merged runs the warehouse merge under the request context, mapping
+// warehouse errors to HTTP ones.
+func (s *Server) merged(r *http.Request, ds string, ids []string, partial bool) (*core.Sample[int64], Coverage, error) {
+	if _, err := s.wh.Config(ds); err != nil {
+		return nil, Coverage{}, notFound("unknown data set %q", ds)
+	}
+	var smp *core.Sample[int64]
+	var cov warehouse.MergeCoverage
+	var err error
+	if partial {
+		smp, cov, err = s.wh.MergedSamplePartialContext(r.Context(), ds, ids...)
+	} else {
+		smp, err = s.wh.MergedSampleContext(r.Context(), ds, ids...)
+		if err == nil {
+			cov = warehouse.MergeCoverage{Requested: ids, Merged: ids}
+			if len(ids) == 0 {
+				parts, _ := s.wh.Partitions(ds)
+				cov = warehouse.MergeCoverage{Requested: parts, Merged: parts}
+			}
+		}
+	}
+	if err != nil {
+		switch {
+		case strings.Contains(err.Error(), "has no partitions"),
+			strings.Contains(err.Error(), "no readable partitions"):
+			return nil, Coverage{}, notFound("%v", err)
+		case strings.Contains(err.Error(), "duplicate partition"):
+			return nil, Coverage{}, badRequest("%v", err)
+		}
+		return nil, Coverage{}, err
+	}
+	return smp, coverage(cov), nil
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
+	ds := r.PathValue("ds")
+	ids, partial, err := mergeParams(r)
+	if err != nil {
+		return err
+	}
+	limit := -1
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, perr := strconv.Atoi(raw)
+		if perr != nil || v < 0 {
+			return badRequest("bad limit %q", raw)
+		}
+		limit = v
+	}
+	smp, cov, err := s.merged(r, ds, ids, partial)
+	if err != nil {
+		return err
+	}
+	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov}
+	if limit != 0 {
+		entries := smp.Hist.Entries()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Value < entries[j].Value })
+		if limit > 0 && len(entries) > limit {
+			entries = entries[:limit]
+			resp.Truncated = true
+		}
+		resp.Values = make([]ValueCount, len(entries))
+		for i, e := range entries {
+			resp.Values[i] = ValueCount{Value: e.Value, Count: e.Count}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleEstimate answers an approximate query over the merged sample of the
+// requested partitions. Query grammar (?q=):
+//
+//	avg | sum | median | distinct
+//	count:LO..HI | fraction:LO..HI   (closed value range)
+//	quantile:Q                        (Q in [0,1])
+//	topk:K | groupby:DIV
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
+	start := nowNS()
+	ds := r.PathValue("ds")
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return badRequest("q required (avg | sum | median | distinct | count:LO..HI | fraction:LO..HI | quantile:Q | topk:K | groupby:DIV)")
+	}
+	confidence := 0.95
+	if raw := r.URL.Query().Get("confidence"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return badRequest("bad confidence %q", raw)
+		}
+		confidence = v
+	}
+	ids, partial, err := mergeParams(r)
+	if err != nil {
+		return err
+	}
+	smp, cov, err := s.merged(r, ds, ids, partial)
+	if err != nil {
+		return err
+	}
+	est, err := estimate.NewWithConfidence(smp, confidence)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp := EstimateResponse{
+		Dataset: ds, Query: q, Confidence: confidence,
+		Sample: sampleMeta(smp), Coverage: cov,
+	}
+	if err := s.answer(&resp, est, smp, q); err != nil {
+		return err
+	}
+	resp.ElapsedNS = nowNS() - start
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// answer dispatches the query grammar against the estimator.
+func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], smp *core.Sample[int64], q string) error {
+	setEst := func(e estimate.Estimate, err error) error {
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		resp.Estimate = &e
+		return nil
+	}
+	switch {
+	case q == "avg":
+		return setEst(est.Avg(func(v int64) float64 { return float64(v) }))
+	case q == "sum":
+		return setEst(est.Sum(func(v int64) float64 { return float64(v) }))
+	case q == "median":
+		return s.quantile(resp, smp, 0.5)
+	case q == "distinct":
+		resp.Distinct = &DistinctResult{
+			InSample: est.DistinctNaive(),
+			Chao1:    est.DistinctChao1(),
+			GEE:      est.DistinctGEE(),
+		}
+		return nil
+	case strings.HasPrefix(q, "quantile:"):
+		qv, err := strconv.ParseFloat(strings.TrimPrefix(q, "quantile:"), 64)
+		if err != nil {
+			return badRequest("bad quantile %q", q)
+		}
+		return s.quantile(resp, smp, qv)
+	case strings.HasPrefix(q, "topk:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(q, "topk:"))
+		if err != nil || k < 1 {
+			return badRequest("bad topk %q", q)
+		}
+		resp.TopK = est.TopK(k)
+		if resp.TopK == nil {
+			resp.TopK = []estimate.FreqEntry[int64]{}
+		}
+		return nil
+	case strings.HasPrefix(q, "groupby:"):
+		div, err := strconv.ParseInt(strings.TrimPrefix(q, "groupby:"), 10, 64)
+		if err != nil || div < 1 {
+			return badRequest("bad groupby divisor %q", q)
+		}
+		groups, err := estimate.GroupBy(est, func(v int64) int64 { return v / div })
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		resp.Groups = groups
+		return nil
+	case strings.HasPrefix(q, "count:"), strings.HasPrefix(q, "fraction:"):
+		kind, spec, _ := strings.Cut(q, ":")
+		loRaw, hiRaw, ok := strings.Cut(spec, "..")
+		if !ok {
+			return badRequest("bad range %q (want %s:LO..HI)", q, kind)
+		}
+		lo, err1 := strconv.ParseInt(loRaw, 10, 64)
+		hi, err2 := strconv.ParseInt(hiRaw, 10, 64)
+		if err1 != nil || err2 != nil || lo > hi {
+			return badRequest("bad range bounds %q", q)
+		}
+		pred := func(v int64) bool { return v >= lo && v <= hi }
+		if kind == "count" {
+			return setEst(est.Count(pred))
+		}
+		return setEst(est.Fraction(pred))
+	default:
+		return badRequest("unknown query %q", q)
+	}
+}
+
+// quantile answers median/quantile queries via the ordered estimator.
+func (s *Server) quantile(resp *EstimateResponse, smp *core.Sample[int64], q float64) error {
+	oe, err := estimate.NewOrdered(smp, func(a, b int64) bool { return a < b })
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	v, err := oe.Quantile(q)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp.Quantile = &v
+	return nil
+}

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -166,15 +167,21 @@ type loadResult[V comparable] struct {
 
 // load fetches every key, preserving request order in the results (merge
 // determinism depends on it). Fetches run on a worker pool bounded by the
-// configured LoadWorkers; duplicate concurrent fetches coalesce.
-func (l *loader[V]) load(keys []string) []loadResult[V] {
+// configured LoadWorkers; duplicate concurrent fetches coalesce. Cancellation
+// is honored between fetches: once ctx is done, keys not yet started resolve
+// to ctx.Err() instead of reaching the store.
+func (l *loader[V]) load(ctx context.Context, keys []string) []loadResult[V] {
 	res := make([]loadResult[V], len(keys))
 	l.mu.Lock()
 	workers := l.workers
 	l.mu.Unlock()
 	if len(keys) <= 1 || workers <= 1 {
 		for i, k := range keys {
-			res[i].s, res[i].err = l.loadOne(k)
+			if err := ctx.Err(); err != nil {
+				res[i].err = err
+				continue
+			}
+			res[i].s, res[i].err = l.loadOne(ctx, k)
 		}
 		return res
 	}
@@ -189,7 +196,11 @@ func (l *loader[V]) load(keys []string) []loadResult[V] {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res[i].s, res[i].err = l.loadOne(k)
+			if err := ctx.Err(); err != nil {
+				res[i].err = err
+				return
+			}
+			res[i].s, res[i].err = l.loadOne(ctx, k)
 		}(i, k)
 	}
 	wg.Wait()
@@ -198,8 +209,15 @@ func (l *loader[V]) load(keys []string) []loadResult[V] {
 
 // loadOne returns the decoded sample for key, from cache when possible. The
 // returned sample is private to the caller (safe to consume in a merge).
-func (l *loader[V]) loadOne(key string) (*core.Sample[V], error) {
+// A store fetch, once started, runs to completion (the Store interface is
+// not cancelable, and an abandoned result can still populate the cache for
+// the next caller); ctx is honored before starting one and while waiting on
+// another goroutine's in-flight fetch.
+func (l *loader[V]) loadOne(ctx context.Context, key string) (*core.Sample[V], error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l.mu.Lock()
 		if s, ok := l.cache.Get(key); ok {
 			l.mu.Unlock()
@@ -210,13 +228,23 @@ func (l *loader[V]) loadOne(key string) (*core.Sample[V], error) {
 				// The key was invalidated after this fetch began; its result
 				// must not be shared. Wait it out and retry fresh.
 				l.mu.Unlock()
-				<-f.done
+				select {
+				case <-f.done:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
 				continue
 			}
 			f.waiters++
 			l.mu.Unlock()
 			l.o.loadDedup.Inc()
-			<-f.done
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				// Abandon the join; the leader still completes the fetch and
+				// (with a cache) retains the result for future callers.
+				return nil, ctx.Err()
+			}
 			if f.err != nil {
 				return nil, f.err
 			}

@@ -8,6 +8,8 @@
 package warehouse
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -409,13 +411,20 @@ func (w *Warehouse[V]) Info(dataset, partitionID string) (PartitionInfo, error) 
 // PartitionSample returns a copy of one partition's stored sample. It reads
 // through the sample cache when one is configured.
 func (w *Warehouse[V]) PartitionSample(dataset, partitionID string) (*core.Sample[V], error) {
+	return w.PartitionSampleContext(context.Background(), dataset, partitionID)
+}
+
+// PartitionSampleContext is PartitionSample honoring ctx: a done context is
+// observed before the store is touched and while waiting on a coalesced
+// in-flight fetch.
+func (w *Warehouse[V]) PartitionSampleContext(ctx context.Context, dataset, partitionID string) (*core.Sample[V], error) {
 	w.mu.RLock()
 	_, ok := w.sets[dataset]
 	w.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
-	s, err := w.ld.loadOne(w.key(dataset, partitionID))
+	s, err := w.ld.loadOne(ctx, w.key(dataset, partitionID))
 	if err != nil {
 		return nil, fmt.Errorf("warehouse: load %s/%s: %w", dataset, partitionID, err)
 	}
@@ -448,7 +457,17 @@ func (c MergeCoverage) Partial() bool { return len(c.Skipped) > 0 }
 // per-partition samples are not consumed. Any unreadable partition fails the
 // whole merge; see MergedSamplePartial for the degraded alternative.
 func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*core.Sample[V], error) {
-	s, _, err := w.mergedSample(dataset, partitionIDs, false)
+	s, _, err := w.mergedSample(context.Background(), dataset, partitionIDs, false)
+	return s, err
+}
+
+// MergedSampleContext is MergedSample honoring cancellation: once ctx is
+// done, partition loads not yet started are skipped, waits on coalesced
+// fetches are abandoned, and the merge is not attempted; the context's error
+// is returned. Deadline-bound callers (e.g. the swd server) use this to stop
+// paying for answers nobody is waiting for.
+func (w *Warehouse[V]) MergedSampleContext(ctx context.Context, dataset string, partitionIDs ...string) (*core.Sample[V], error) {
+	s, _, err := w.mergedSample(ctx, dataset, partitionIDs, false)
 	return s, err
 }
 
@@ -461,14 +480,25 @@ func (w *Warehouse[V]) MergedSample(dataset string, partitionIDs ...string) (*co
 // degraded answer is acceptable. It errors only if no requested partition is
 // readable.
 func (w *Warehouse[V]) MergedSamplePartial(dataset string, partitionIDs ...string) (*core.Sample[V], MergeCoverage, error) {
-	return w.mergedSample(dataset, partitionIDs, true)
+	return w.mergedSample(context.Background(), dataset, partitionIDs, true)
+}
+
+// MergedSamplePartialContext is MergedSamplePartial honoring cancellation.
+// Context expiry is never degraded around: a load that failed because ctx was
+// done fails the whole merge (reporting a partial answer for a query nobody
+// is waiting for would be wasted work), while per-partition storage failures
+// keep their skip-and-report semantics.
+func (w *Warehouse[V]) MergedSamplePartialContext(ctx context.Context, dataset string, partitionIDs ...string) (*core.Sample[V], MergeCoverage, error) {
+	return w.mergedSample(ctx, dataset, partitionIDs, true)
 }
 
 // mergedSample is the shared merge path; partial selects skip-and-report
 // semantics for unreadable partitions. It runs the three read-path layers in
 // order: the loader (bounded-concurrency fetch, singleflight, read-through
-// cache), then the parallel merge executor (see DESIGN.md §9).
-func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, partial bool) (*core.Sample[V], MergeCoverage, error) {
+// cache), then the parallel merge executor (see DESIGN.md §9). Cancellation
+// is checked between the layers and between partition loads inside the
+// loader; a context error always fails the merge, even in partial mode.
+func (w *Warehouse[V]) mergedSample(ctx context.Context, dataset string, partitionIDs []string, partial bool) (*core.Sample[V], MergeCoverage, error) {
 	var cov MergeCoverage
 	w.mu.RLock()
 	ds, ok := w.sets[dataset]
@@ -502,12 +532,17 @@ func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, parti
 		seen[id] = true
 		keys[i] = w.key(dataset, id)
 	}
-	results := w.ld.load(keys)
+	results := w.ld.load(ctx, keys)
 	samples := make([]*core.Sample[V], 0, len(ids))
 	for i, r := range results {
 		id := ids[i]
 		if r.err != nil {
 			err := fmt.Errorf("warehouse: merge %s: load %s: %w", dataset, id, r.err)
+			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				// Nobody is waiting for this answer; degrading around the
+				// cancellation would only hide it. Fail outright.
+				return nil, cov, err
+			}
 			w.o.fail("merge", dataset, id, err)
 			if !partial {
 				return nil, cov, err
@@ -522,6 +557,9 @@ func (w *Warehouse[V]) mergedSample(dataset string, partitionIDs []string, parti
 	if len(samples) == 0 {
 		return nil, cov, fmt.Errorf("warehouse: merge %s: no readable partitions (of %d requested)",
 			dataset, len(ids))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cov, fmt.Errorf("warehouse: merge %s: %w", dataset, err)
 	}
 
 	w.mu.Lock()
@@ -596,6 +634,11 @@ func skipReason(err error) string {
 // stream sampling ("as new daily samples are rolled in and old daily samples
 // are rolled out, the system approximates stream sampling algorithms").
 func (w *Warehouse[V]) Window(dataset string, n int) (*core.Sample[V], error) {
+	return w.WindowContext(context.Background(), dataset, n)
+}
+
+// WindowContext is Window honoring cancellation (see MergedSampleContext).
+func (w *Warehouse[V]) WindowContext(ctx context.Context, dataset string, n int) (*core.Sample[V], error) {
 	w.mu.RLock()
 	ds, ok := w.sets[dataset]
 	var ids []string
@@ -613,7 +656,7 @@ func (w *Warehouse[V]) Window(dataset string, n int) (*core.Sample[V], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("warehouse: window size %d < 1", n)
 	}
-	return w.MergedSample(dataset, ids...)
+	return w.MergedSampleContext(ctx, dataset, ids...)
 }
 
 // key maps (dataset, partition) to a store key.

@@ -35,6 +35,8 @@
 package samplewh
 
 import (
+	"net/http"
+
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
 	"samplewh/internal/fullwh"
@@ -42,6 +44,7 @@ import (
 	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 	"samplewh/internal/samplecache"
+	"samplewh/internal/server"
 	"samplewh/internal/storage"
 	"samplewh/internal/stream"
 	"samplewh/internal/warehouse"
@@ -373,10 +376,27 @@ type Estimator[V comparable] = estimate.Estimator[V]
 // NewEstimator builds a 95%-confidence estimator over a sample.
 func NewEstimator[V comparable](s *Sample[V]) *Estimator[V] { return estimate.New(s) }
 
+// NewEstimatorWithConfidence builds an estimator at the given confidence
+// level (0.90, 0.95 or 0.99).
+func NewEstimatorWithConfidence[V comparable](s *Sample[V], confidence float64) (*Estimator[V], error) {
+	return estimate.NewWithConfidence(s, confidence)
+}
+
+// OrderedEstimator answers order-dependent queries (quantiles, median,
+// equi-depth histograms) over one sample.
+type OrderedEstimator[V comparable] = estimate.OrderedEstimator[V]
+
 // NewOrderedEstimator adds quantile queries given a total order on values.
-func NewOrderedEstimator[V comparable](s *Sample[V], less func(a, b V) bool) (*estimate.OrderedEstimator[V], error) {
+func NewOrderedEstimator[V comparable](s *Sample[V], less func(a, b V) bool) (*OrderedEstimator[V], error) {
 	return estimate.NewOrdered(s, less)
 }
+
+// FreqEntry is one TopK value with its estimated data-set frequency.
+type FreqEntry[V comparable] = estimate.FreqEntry[V]
+
+// Resemblance holds value-set overlap estimates between two samples
+// (Jaccard and containment), returned by ValueSetResemblance.
+type Resemblance = estimate.Resemblance
 
 // DiffEstimate returns the estimated difference a − b between estimates from
 // independent samples, with standard errors combined in quadrature.
@@ -503,6 +523,8 @@ const (
 	EvPartialMerge    = obs.EvPartialMerge
 	EvRecovery        = obs.EvRecovery
 	EvCacheEvict      = obs.EvCacheEvict
+	EvShed            = obs.EvShed
+	EvDrain           = obs.EvDrain
 )
 
 // defaultMetrics backs DefaultMetrics and Snapshot for single-registry
@@ -527,6 +549,33 @@ func InstrumentStore[V comparable](s storage.Store[V], reg *Metrics) bool {
 	}
 	return ok
 }
+
+// Server serves an int64-valued warehouse over HTTP/JSON with admission
+// control (bounded queue + load shedding), per-request deadlines propagated
+// into the merge path, approximate-query endpoints with confidence intervals
+// and merge coverage, and graceful drain. Mount Handler() on an http.Server;
+// see cmd/swd for the full daemon.
+type Server = server.Server
+
+// ServerConfig tunes a Server's deadlines, per-class concurrency limits,
+// admission queue and instrumentation.
+type ServerConfig = server.Config
+
+// NewServer builds a Server over an int64-valued warehouse.
+func NewServer(w *Warehouse, cfg ServerConfig) *Server { return server.New(w, cfg) }
+
+// ServerClient is the Go client for a running Server/swd.
+type ServerClient = server.Client
+
+// NewServerClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8385"); httpc nil selects http.DefaultClient.
+func NewServerClient(base string, httpc *http.Client) *ServerClient {
+	return server.NewClient(base, httpc)
+}
+
+// IsShed reports whether err (from a ServerClient call) is a 429 load-shed
+// response; its APIError carries the server's Retry-After hint.
+func IsShed(err error) bool { return server.IsShed(err) }
 
 // WorkloadSpec describes a synthetic data set (the paper's unique, uniform
 // and Zipfian evaluation workloads).

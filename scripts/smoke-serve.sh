@@ -1,0 +1,91 @@
+#!/bin/sh
+# Smoke test for the swd serving daemon: boot it against a throwaway
+# warehouse, issue one request per endpoint (curl + swcli query), then
+# SIGTERM it and require a clean graceful drain (exit 0).
+set -eu
+
+DIR="$(mktemp -d)"
+ADDR="127.0.0.1:8571"
+BASE="http://$ADDR"
+SWD_PID=""
+
+cleanup() {
+    [ -n "$SWD_PID" ] && kill -9 "$SWD_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/swd" ./cmd/swd
+go build -o "$DIR/swcli" ./cmd/swcli
+
+echo "== boot"
+"$DIR/swd" -dir "$DIR/wh" -addr "$ADDR" -timeout 5s &
+SWD_PID=$!
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "swd never became healthy" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SWD_PID" 2>/dev/null; then
+        echo "swd exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# fail CODE METHOD URL [curl args...] — issue the request, require the status.
+expect() {
+    want="$1"; shift
+    got="$(curl -s -o /tmp/smoke-body.$$ -w '%{http_code}' "$@")"
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $* -> $got (want $want)" >&2
+        cat /tmp/smoke-body.$$ >&2 || true
+        exit 1
+    fi
+    rm -f /tmp/smoke-body.$$
+}
+
+echo "== endpoints"
+expect 200 "$BASE/healthz"
+expect 200 "$BASE/metricsz"
+expect 201 -X POST -d '{"name":"smoke","algorithm":"HR","nf":512}' "$BASE/v1/datasets"
+expect 200 "$BASE/v1/datasets"
+expect 200 "$BASE/v1/datasets/smoke"
+seq 1 2000 | expect 201 -X PUT --data-binary @- "$BASE/v1/datasets/smoke/partitions/p0"
+seq 2001 4000 | expect 201 -X PUT --data-binary @- "$BASE/v1/datasets/smoke/partitions/p1"
+expect 200 "$BASE/v1/datasets/smoke/partitions/p0"
+expect 200 "$BASE/v1/datasets/smoke/sample?limit=5"
+expect 200 "$BASE/v1/datasets/smoke/estimate?q=avg"
+expect 200 "$BASE/v1/datasets/smoke/estimate?q=quantile:0.5&parts=p0"
+expect 404 "$BASE/v1/datasets/nope"
+expect 400 "$BASE/v1/datasets/smoke/estimate?q=explode"
+expect 200 -X DELETE "$BASE/v1/datasets/smoke/partitions/p1"
+
+echo "== swcli query"
+"$DIR/swcli" query -addr "$BASE"
+"$DIR/swcli" query -addr "$BASE" -ds smoke -q avg
+"$DIR/swcli" query -addr "$BASE" -ds smoke -q distinct -json >/dev/null
+
+echo "== drain"
+kill -TERM "$SWD_PID"
+i=0
+while kill -0 "$SWD_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "swd did not drain within 10s" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$SWD_PID" 2>/dev/null && status=0 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "swd exited $status on SIGTERM (want 0)" >&2
+    exit 1
+fi
+SWD_PID=""
+echo "smoke-serve: OK"
