@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query bench-serve smoke-serve fuzz
+.PHONY: check fmt vet build test bench bench-query bench-serve smoke-serve chaos fuzz
 
 check: fmt vet build test
 
@@ -42,6 +42,15 @@ bench-serve:
 # pass is the serving subsystem's CI smoke test.
 smoke-serve:
 	./scripts/smoke-serve.sh
+
+# Crash-recovery drill (DESIGN.md §11): SIGKILL a live swd CHAOS_CYCLES
+# times under concurrent keyed ingest, then verify every acknowledged batch
+# survived exactly once and estimates stay inside their intervals.
+CHAOS_CYCLES ?= 20
+CHAOS_WORKERS ?= 4
+
+chaos:
+	./scripts/chaos-ingest.sh $(CHAOS_CYCLES) $(CHAOS_WORKERS)
 
 # Short fuzz pass over the binary sample codec (decode must never panic and
 # must reject corrupted inputs). Override FUZZTIME for longer campaigns.

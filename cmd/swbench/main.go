@@ -67,7 +67,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, chaos, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -84,6 +84,11 @@ func main() {
 		sclients    = flag.String("sclients", "1,2,4,8,16,32", "serve experiment: comma-separated client counts")
 		sdur        = flag.Duration("sdur", 2*time.Second, "serve experiment: duration per client count")
 		faultRate   = flag.Float64("fault-rate", 0.2, "faults experiment: transient failure probability per store op")
+		swdPath     = flag.String("swd", "", "chaos experiment: path to a built swd binary")
+		ccycles     = flag.Int("ccycles", 20, "chaos experiment: SIGKILL/restart cycles")
+		cworkers    = flag.Int("cworkers", 4, "chaos experiment: concurrent ingest workers")
+		cbatch      = flag.Int("cbatch", 2000, "chaos experiment: values per ingest batch")
+		cuptime     = flag.Duration("cuptime", 150*time.Millisecond, "chaos experiment: daemon uptime between kills")
 		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
@@ -186,6 +191,12 @@ func main() {
 			return emit(name, r, err)
 		case "serve":
 			r, err := experiments.Serve(parseInts(*sclients), *sdur, opt)
+			return emit(name, r, err)
+		case "chaos":
+			r, err := experiments.Chaos(experiments.ChaosConfig{
+				SwdPath: *swdPath, Cycles: *ccycles, Workers: *cworkers,
+				Batch: *cbatch, Uptime: *cuptime,
+			}, opt)
 			return emit(name, r, err)
 		case "uniformity":
 			for _, alg := range []experiments.Alg{experiments.AlgSB, experiments.AlgHB, experiments.AlgHR} {

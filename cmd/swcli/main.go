@@ -42,6 +42,7 @@ import (
 	"samplewh/internal/obs"
 	"samplewh/internal/server"
 	"samplewh/internal/storage"
+	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
 
@@ -128,7 +129,8 @@ commands:
   merge    -ds NAME [-part ID1,ID2,...]
   estimate -ds NAME [-part IDS] -q QUERY   (avg | sum | median | distinct | topk:K | count:LO..HI)
   rollout  -ds NAME -part ID
-  fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog)
+  fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog,
+           check wal/ segments for torn tails and orphans)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
            [-confidence 0.95] [-json]   (against a running swd; no -dir needed)`)
 }
@@ -560,9 +562,13 @@ func (c *cli) rollout(args []string) error {
 
 // fsck verifies the warehouse on disk: stale temp files from killed writes
 // are removed, every sample is decode-verified (corrupt files are renamed to
-// ".corrupt" siblings by the store), and the catalog is reconciled against
-// the surviving samples. With -fix, catalog entries whose samples are gone
-// (dangling) are dropped; orphan samples are reported but never deleted.
+// ".corrupt" siblings by the store), the catalog is reconciled against the
+// surviving samples, and write-ahead journal segments (a `wal/` directory in
+// the swd layout) are checked for torn tails and orphaned segments. With
+// -fix, catalog entries whose samples are gone (dangling) are dropped, torn
+// journal tails are truncated back to the last valid frame, and fully
+// committed journal segments are removed; orphan samples are reported but
+// never deleted.
 func (c *cli) fsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	fix := fs.Bool("fix", false, "repair: drop dangling catalog entries")
@@ -670,7 +676,19 @@ func (c *cli) fsck(args []string) error {
 		}
 	}
 
-	problems := len(corrupt) + len(orphans)
+	// Pass 4: write-ahead journal segments (the swd layout keeps them under
+	// <dir>/wal; a warehouse without a journal skips this pass). Torn tails
+	// — a crash mid-append — are truncated back to the last valid frame with
+	// -fix; segments whose batches all committed are dead weight the daemon
+	// would GC at next start, and -fix removes them now. Sealed batches
+	// still awaiting replay are listed informationally: they are the normal
+	// crash state the next swd start resolves, not damage.
+	walProblems, err := c.fsckWAL(filepath.Join(c.dir, "wal"), *fix)
+	if err != nil {
+		return err
+	}
+
+	problems := len(corrupt) + len(orphans) + walProblems
 	if !*fix {
 		problems += len(dangling)
 	}
@@ -679,6 +697,49 @@ func (c *cli) fsck(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("fsck: %d problem(s) found", problems)
+}
+
+// fsckWAL is fsck's journal pass; it returns the number of unrepaired
+// problems found.
+func (c *cli) fsckWAL(walDir string, fix bool) (int, error) {
+	rep, err := wal.Inspect(walDir)
+	if err != nil {
+		return 0, fmt.Errorf("fsck: wal: %w", err)
+	}
+	problems := 0
+	for _, s := range rep.Segments {
+		switch {
+		case s.Torn && fix:
+			removed, err := wal.TruncateTorn(s)
+			if err != nil {
+				return problems, fmt.Errorf("fsck: wal: %w", err)
+			}
+			fmt.Printf("wal: %s: torn tail truncated at byte %d (%d bytes dropped)\n",
+				s.Name, s.ValidBytes, removed)
+		case s.Torn:
+			fmt.Printf("wal: %s: torn tail at byte %d (%d trailing bytes; -fix truncates)\n",
+				s.Name, s.ValidBytes, s.Size-s.ValidBytes)
+			problems++
+		case rep.Orphaned(s) && fix:
+			if err := os.Remove(s.Path); err != nil {
+				return problems, fmt.Errorf("fsck: wal: remove %s: %w", s.Name, err)
+			}
+			fmt.Printf("wal: %s: orphaned segment removed (every batch committed)\n", s.Name)
+		case rep.Orphaned(s):
+			// Not counted as a problem: a killed swd always leaves its last
+			// fully committed segment behind for next-start GC.
+			fmt.Printf("wal: %s: orphaned (every batch committed; swd GCs it at next start, -fix removes now)\n", s.Name)
+		}
+	}
+	for _, e := range rep.Pending() {
+		key := ""
+		if e.Key != "" {
+			key = fmt.Sprintf(", idempotency key %q", e.Key)
+		}
+		fmt.Printf("wal: pending replay: %s/%s (%d values%s) — replayed at next swd start\n",
+			e.Dataset, e.Partition, e.Values, key)
+	}
+	return problems, nil
 }
 
 // query speaks to a running swd daemon. Without -ds it lists the served data

@@ -36,12 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"samplewh/internal/obs"
 	"samplewh/internal/server"
 	"samplewh/internal/storage"
+	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
 
@@ -63,9 +65,18 @@ func main() {
 		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "max queued time before a request is shed")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 		events       = flag.Int("events", 256, "trace-event ring buffer size (0 disables tracing)")
+		walOn        = flag.Bool("wal", true, "write-ahead ingest journal (crash-durable acks; -dir mode only)")
+		walSync      = flag.String("wal-sync", "always", "journal fsync policy: always | interval | off")
+		walInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "journal fsync period under -wal-sync=interval")
+		walSegment   = flag.Int64("wal-segment", 64<<20, "journal segment roll threshold in bytes")
 	)
 	flag.Parse()
 
+	walPolicy, err := wal.ParsePolicy(*walSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swd: %v\n", err)
+		os.Exit(1)
+	}
 	if err := run(*addr, *dir, *mem, *seed, serverOpts{
 		cacheBytes: *cacheBytes, loadWorkers: *loadWorkers, mergeWorkers: *mergeWorkers,
 		cfg: server.Config{
@@ -79,6 +90,8 @@ func main() {
 		},
 		drainTimeout: *drainTimeout,
 		events:       *events,
+		wal:          *walOn,
+		walOpts:      wal.Options{Policy: walPolicy, Interval: *walInterval, SegmentBytes: *walSegment},
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "swd: %v\n", err)
 		os.Exit(1)
@@ -92,6 +105,8 @@ type serverOpts struct {
 	cfg          server.Config
 	drainTimeout time.Duration
 	events       int
+	wal          bool
+	walOpts      wal.Options
 }
 
 // logf writes one timestamped operational log line to stderr.
@@ -147,8 +162,38 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 		MergeWorkers: opts.mergeWorkers,
 	})
 
+	// Write-ahead ingest journal (file-backed mode only): recover sealed but
+	// uncommitted batches from the previous incarnation and replay them into
+	// their partitions before accepting traffic, so every acknowledged batch
+	// survives even a kill -9.
+	var journal *wal.Log[int64]
+	var replayed []warehouse.ReplayedIngest[int64]
+	if opts.wal && !mem {
+		opts.walOpts.Registry = reg
+		lg, recovered, err := wal.Open[int64](filepath.Join(dir, "wal"), storage.Int64Codec{}, opts.walOpts)
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		journal = lg
+		if len(recovered) > 0 {
+			rep, err := wh.ReplayJournal(lg, recovered)
+			if err != nil {
+				return fmt.Errorf("replay journal: %w", err)
+			}
+			logf("journal replay: %d batches rebuilt, %d orphaned", len(rep.Replayed), rep.Orphaned)
+			replayed = rep.Replayed
+		}
+		defer func() {
+			if err := journal.Close(); err != nil {
+				logf("journal close: %v", err)
+			}
+		}()
+	}
+
 	opts.cfg.Registry = reg
+	opts.cfg.Journal = journal
 	srv := server.New(wh, opts.cfg)
+	srv.SeedIdempotency(replayed)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -113,7 +113,9 @@ func Serve(clients []int, dur time.Duration, opt Options) (*Report, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				cl := server.NewClient(base, httpc)
+				// Retries off: the table reports raw shed rate; transparent
+				// retries would fold sheds into latency instead.
+				cl := server.NewClient(base, httpc).SetRetryPolicy(server.NoRetry())
 				local := make([]time.Duration, 0, 1024)
 				for i := 0; time.Now().Before(stop); i++ {
 					q := queries[(w+i)%len(queries)]

@@ -33,6 +33,13 @@ const (
 	OpKeys
 	OpPutBlob
 	OpGetBlob
+	// OpWalAppend and OpWalSync are the write-ahead journal's operation
+	// classes (internal/wal): a fault on OpWalAppend makes the journal write
+	// a torn prefix of the frame (a deterministic short write) before
+	// surfacing the error, and a fault on OpWalSync fails the fsync without
+	// syncing — the two crash shapes the recovery path must survive.
+	OpWalAppend
+	OpWalSync
 	numOps
 )
 
@@ -51,6 +58,10 @@ func (o Op) String() string {
 		return "put_blob"
 	case OpGetBlob:
 		return "get_blob"
+	case OpWalAppend:
+		return "wal_append"
+	case OpWalSync:
+		return "wal_sync"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}

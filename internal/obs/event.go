@@ -51,6 +51,14 @@ const (
 	// EvDrain: the server began (or finished) graceful drain. Labels:
 	// "stage" ("begin" or "done"). Values (done): "served".
 	EvDrain = "drain"
+	// EvWALReplay: startup recovery replayed one journaled ingest batch that
+	// was acknowledged but never durably rolled in. Labels: "key"
+	// (idempotency key, when the client supplied one). Values: "values".
+	EvWALReplay = "wal_replay"
+	// EvWALTruncate: recovery found a torn tail (crash mid-append) in a
+	// journal segment and truncated it back to the last valid frame.
+	// Labels: "segment". Values: "offset", "lost_bytes".
+	EvWALTruncate = "wal_truncate"
 )
 
 // Event is one structured trace record. Component identifies the emitting

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,9 +19,53 @@ import (
 // client-side surface shared by swcli's query subcommand, the swbench serve
 // load driver, and the integration tests. The zero value is not usable;
 // construct with NewClient.
+//
+// By default the client transparently retries load-shed (429) and transient
+// 5xx responses for idempotent requests with capped, jittered exponential
+// backoff, honoring the server's Retry-After hint and bounded by the request
+// context. SetRetryPolicy tunes or disables this; Retries reports how many
+// retry attempts were spent.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	retries atomic.Int64
+}
+
+// RetryPolicy tunes the client's automatic retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first; 1
+	// disables retries. Default 3.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (doubled per retry, full
+	// jitter). Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff sleep, including server Retry-After
+	// hints. Default 2s.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewClient installs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+}
+
+// NoRetry disables automatic retries — for callers that count failures
+// themselves (load experiments asserting shed totals) or implement their own
+// retry loop.
+func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -28,8 +74,23 @@ func NewClient(base string, httpc *http.Client) *Client {
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpc}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  httpc,
+		retry: DefaultRetryPolicy(),
+	}
 }
+
+// SetRetryPolicy replaces the retry policy. Not safe to call concurrently
+// with requests; configure before use.
+func (c *Client) SetRetryPolicy(p RetryPolicy) *Client {
+	c.retry = p.normalized()
+	return c
+}
+
+// Retries returns the total retry attempts the client has spent (first
+// attempts are not counted).
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // APIError is a non-2xx server response.
 type APIError struct {
@@ -51,9 +112,95 @@ func IsShed(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
 }
 
-// do issues the request and decodes the JSON response into out (skipped when
-// out is nil). Non-2xx responses decode the error envelope into an APIError.
+// retryableRequest reports whether a request may be transparently re-issued:
+// the method must be idempotent and the body (if any) replayable via GetBody
+// (http.NewRequest sets it for strings/bytes readers; streaming bodies are
+// not retried).
+func retryableRequest(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+	default:
+		return false
+	}
+	return req.Body == nil || req.GetBody != nil
+}
+
+// retryableStatus reports whether an APIError is worth retrying: load sheds
+// and the transient 5xx family a restarting or saturated server emits.
+func retryableStatus(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff sleeps before retry number attempt (1-based), bounded by ctx. The
+// server's Retry-After hint overrides the exponential schedule; either way
+// the sleep is capped at MaxBackoff and fully jittered to spread retrying
+// clients apart.
+func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
+	d := c.retry.BaseBackoff << (attempt - 1)
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		d = ae.RetryAfter
+	}
+	if d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues the request, retrying per the client's policy, and decodes the
+// JSON response into out (skipped when out is nil). Non-2xx responses decode
+// the error envelope into an APIError.
 func (c *Client) do(req *http.Request, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 || !retryableRequest(req) {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(req.Context(), attempt, lastErr); err != nil {
+				return lastErr
+			}
+			if req.Body != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return lastErr
+				}
+				req.Body = body
+			}
+			c.retries.Add(1)
+		}
+		err := c.doOnce(req, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryableStatus(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// doOnce is a single request/response exchange.
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -141,7 +288,20 @@ func (c *Client) PartitionInfo(ctx context.Context, ds, part string) (PartitionI
 // Ingest streams values (text, one per line) into a new partition of ds.
 // expected passes the expected partition size (required for HB data sets;
 // 0 otherwise).
+//
+// Pass values as a *strings.Reader or *bytes.Reader to make the request
+// replayable: only then can the client's automatic retry re-issue it after a
+// shed or transient failure.
 func (c *Client) Ingest(ctx context.Context, ds, part string, expected int64, values io.Reader) (IngestResponse, error) {
+	return c.IngestKeyed(ctx, ds, part, expected, "", values)
+}
+
+// IngestKeyed is Ingest with a client-chosen Idempotency-Key: the server
+// remembers the key with the batch (in its journal, when one is configured),
+// so a retry after an ambiguous failure — even across a server crash and
+// restart — answers with the original acknowledgment instead of ingesting
+// again.
+func (c *Client) IngestKeyed(ctx context.Context, ds, part string, expected int64, key string, values io.Reader) (IngestResponse, error) {
 	var out IngestResponse
 	u := c.base + "/v1/datasets/" + url.PathEscape(ds) + "/partitions/" + url.PathEscape(part)
 	if expected > 0 {
@@ -152,6 +312,9 @@ func (c *Client) Ingest(ctx context.Context, ds, part string, expected int64, va
 		return out, err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
 	err = c.do(req, &out)
 	return out, err
 }

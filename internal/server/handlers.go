@@ -14,6 +14,7 @@ import (
 
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
+	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
 
@@ -281,11 +282,24 @@ func (s *Server) handlePartitionInfo(w http.ResponseWriter, r *http.Request) err
 	return nil
 }
 
+// ingestChunk sizes the journal's values frames: big enough to amortize the
+// framing, small enough to keep the handler's buffer bounded.
+const ingestChunk = 4096
+
 // handleIngest is roll-in over HTTP: the body is a stream of int64 values
 // (text, one per line), sampled on the way in through the data set's
 // HB/HR/SB sampler — the server never materializes the raw partition, only
 // its bounded sample. ?expected=N passes the expected partition size
 // (required for HB data sets).
+//
+// With a journal configured, the raw batch is also appended to the
+// write-ahead journal and sealed — fsynced under the `always` policy —
+// before the 201 leaves, so an acknowledged batch survives a crash and is
+// replayed into its partition on restart. A client-supplied Idempotency-Key
+// header makes retries safe across ambiguous failures: a key already
+// acknowledged (in this process or recovered from the journal) answers 200
+// with the original response and an `Idempotency-Replayed: true` header
+// instead of ingesting again.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	ds, part := r.PathValue("ds"), r.PathValue("part")
 	expected := int64(0)
@@ -296,12 +310,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		}
 		expected = v
 	}
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" {
+		if resp, ok := s.idem.get(idemScope(ds, part, idemKey)); ok {
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, resp)
+			return nil
+		}
+	}
 	smp, err := s.wh.NewSampler(ds, expected)
 	if err != nil {
 		if strings.Contains(err.Error(), "unknown data set") {
 			return notFound("%v", err)
 		}
 		return badRequest("%v", err)
+	}
+
+	var entry *wal.Entry[int64]
+	var chunk []int64
+	if s.journal != nil {
+		entry, err = s.journal.Begin(ds, part, idemKey, expected)
+		if err != nil {
+			return fmt.Errorf("ingest %s/%s: journal: %w", ds, part, err)
+		}
+		// Abort after a successful Commit is a no-op; on any error return it
+		// retires the entry so the journal does not hold its segment live.
+		defer entry.Abort()
+		chunk = make([]int64, 0, ingestChunk)
 	}
 
 	ctx := r.Context()
@@ -319,6 +354,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 			return badRequest("ingest %s/%s: value %d: %v", ds, part, n+1, err)
 		}
 		smp.Feed(v)
+		if entry != nil {
+			chunk = append(chunk, v)
+			if len(chunk) == ingestChunk {
+				if err := entry.Append(chunk); err != nil {
+					return fmt.Errorf("ingest %s/%s: journal: %w", ds, part, err)
+				}
+				chunk = chunk[:0]
+			}
+		}
 		n++
 		// The sampler is cheap but the body may be huge; honor the deadline
 		// between batches so a slow client cannot pin an ingest slot forever.
@@ -342,6 +386,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if entry != nil {
+		if err := entry.Append(chunk); err != nil {
+			return fmt.Errorf("ingest %s/%s: journal: %w", ds, part, err)
+		}
+		// Seal is the durability barrier: after it returns, a crash anywhere
+		// below replays this batch on restart — the ack is safe to send.
+		if err := entry.Seal(n); err != nil {
+			return fmt.Errorf("ingest %s/%s: journal seal: %w", ds, part, err)
+		}
+	}
 	sample, err := smp.Finalize()
 	if err != nil {
 		return err
@@ -349,9 +403,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	if err := s.wh.RollIn(ds, part, sample); err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusCreated, IngestResponse{
-		Dataset: ds, Partition: part, Read: n, Sample: sampleMeta(sample),
-	})
+	if entry != nil {
+		// A commit failure is not fatal: the sample is durably rolled in and
+		// replaying the sealed entry after a crash converges on the same
+		// partition (RollIn replaces by ID).
+		_ = entry.Commit()
+	}
+	resp := IngestResponse{Dataset: ds, Partition: part, Read: n, Sample: sampleMeta(sample)}
+	if idemKey != "" {
+		s.idem.put(idemScope(ds, part, idemKey), resp)
+	}
+	writeJSON(w, http.StatusCreated, resp)
 	return nil
 }
 

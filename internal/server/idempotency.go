@@ -1,0 +1,52 @@
+package server
+
+import (
+	"sync"
+)
+
+// idemRegistry remembers the responses of recently acknowledged ingest
+// batches by client-supplied Idempotency-Key, so a client retrying after an
+// ambiguous failure (timeout, dropped connection, server crash) gets the
+// original answer back instead of double-ingesting. Entries are evicted FIFO
+// once the registry exceeds its capacity — idempotency is a retry-window
+// guarantee, not an eternal ledger.
+//
+// Keys are scoped per dataset/partition, so clients may reuse a key across
+// partitions without collisions. The registry is seeded from journal replay
+// at startup (Server.SeedIdempotency), closing the loop across crashes: a
+// batch acknowledged just before a kill answers its retry as a replay after
+// the restart.
+type idemRegistry struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]IngestResponse
+	order []string
+}
+
+func newIdemRegistry(capacity int) *idemRegistry {
+	return &idemRegistry{cap: capacity, m: make(map[string]IngestResponse, capacity)}
+}
+
+// idemScope builds the registry key for one batch.
+func idemScope(ds, part, key string) string { return ds + "\x00" + part + "\x00" + key }
+
+func (r *idemRegistry) get(scope string) (IngestResponse, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp, ok := r.m[scope]
+	return resp, ok
+}
+
+func (r *idemRegistry) put(scope string, resp IngestResponse) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[scope]; !ok {
+		r.order = append(r.order, scope)
+	}
+	r.m[scope] = resp
+	for len(r.m) > r.cap && len(r.order) > 0 {
+		evict := r.order[0]
+		r.order = r.order[1:]
+		delete(r.m, evict)
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler sheds the first fail requests per path and serves afterwards.
+type flakyHandler struct {
+	fail  int32
+	seen  atomic.Int32
+	posts atomic.Int32
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		h.posts.Add(1)
+	}
+	if n := h.seen.Add(1); n <= h.fail {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"shed"}`))
+		return
+	}
+	w.Write([]byte(`{"status":"ok"}`))
+}
+
+// TestClientRetriesTransientSheds proves an idempotent request rides out
+// 429s transparently: two sheds then success must surface as one successful
+// call with two counted retries.
+func TestClientRetriesTransientSheds(t *testing.T) {
+	h := &flakyHandler{fail: 2}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil).SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond, // clamps the Retry-After: 1s hint
+	})
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after sheds: %v", err)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	// Retry-After said 1s but MaxBackoff caps the wait; a multi-second run
+	// would mean the hint was honored uncapped.
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("retries took %v; MaxBackoff cap not applied", el)
+	}
+}
+
+// TestClientRetryGivesUp proves the attempt budget is honored: a server that
+// never recovers yields the last shed error after MaxAttempts tries.
+func TestClientRetryGivesUp(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil).SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if _, err := c.Health(context.Background()); !IsShed(err) {
+		t.Fatalf("got %v, want shed error", err)
+	}
+	if got := h.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestClientDoesNotRetryNonIdempotent proves POSTs are never transparently
+// re-issued, even when the failure status is retryable.
+func TestClientDoesNotRetryNonIdempotent(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil).SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+	})
+	_, err := c.CreateDataset(context.Background(), CreateDatasetRequest{Name: "d", NF: 64})
+	if !IsShed(err) {
+		t.Fatalf("got %v, want shed error", err)
+	}
+	if got := h.posts.Load(); got != 1 {
+		t.Fatalf("POST issued %d times, want exactly 1", got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"samplewh/internal/obs"
 	"samplewh/internal/storage"
+	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
 
@@ -69,6 +70,15 @@ type Config struct {
 	// Default 1s (rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
 
+	// Journal, when non-nil, is the write-ahead ingest journal: every
+	// acknowledged ingest batch is sealed in it (fsynced per its policy)
+	// before the response leaves, and the handler commits the entry once
+	// RollIn lands. Nil serves without crash durability (in-memory mode).
+	Journal *wal.Log[int64]
+	// IdempotencyCapacity bounds the remembered Idempotency-Key responses
+	// (FIFO eviction). Default 4096.
+	IdempotencyCapacity int
+
 	// Registry routes server metrics and events; nil leaves the server
 	// uninstrumented (all obs calls are nil-safe no-ops).
 	Registry *obs.Registry
@@ -99,6 +109,9 @@ func (c Config) normalized() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.IdempotencyCapacity <= 0 {
+		c.IdempotencyCapacity = 4096
 	}
 	return c
 }
@@ -149,10 +162,12 @@ func newServerObs(reg *obs.Registry) serverObs {
 // New, mount via Handler, and call BeginDrain when shutting down (cmd/swd
 // pairs it with http.Server.Shutdown so accepted requests complete).
 type Server struct {
-	wh  *warehouse.Warehouse[int64]
-	cfg Config
-	mux *http.ServeMux
-	o   serverObs
+	wh      *warehouse.Warehouse[int64]
+	cfg     Config
+	mux     *http.ServeMux
+	o       serverObs
+	journal *wal.Log[int64]
+	idem    *idemRegistry
 
 	read   *limiter
 	ingest *limiter
@@ -168,16 +183,35 @@ type Server struct {
 func New(wh *warehouse.Warehouse[int64], cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
-		wh:     wh,
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		o:      newServerObs(cfg.Registry),
-		read:   newLimiter(cfg.ReadLimit, cfg.queueDepth(cfg.ReadLimit), cfg.QueueWait),
-		ingest: newLimiter(cfg.IngestLimit, cfg.queueDepth(cfg.IngestLimit), cfg.QueueWait),
-		query:  newLimiter(cfg.QueryLimit, cfg.queueDepth(cfg.QueryLimit), cfg.QueueWait),
+		wh:      wh,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		o:       newServerObs(cfg.Registry),
+		journal: cfg.Journal,
+		idem:    newIdemRegistry(cfg.IdempotencyCapacity),
+		read:    newLimiter(cfg.ReadLimit, cfg.queueDepth(cfg.ReadLimit), cfg.QueueWait),
+		ingest:  newLimiter(cfg.IngestLimit, cfg.queueDepth(cfg.IngestLimit), cfg.QueueWait),
+		query:   newLimiter(cfg.QueryLimit, cfg.queueDepth(cfg.QueryLimit), cfg.QueueWait),
 	}
 	s.routes()
 	return s
+}
+
+// SeedIdempotency primes the Idempotency-Key registry from journal replay:
+// each replayed batch that carried a key answers its client's retry with the
+// rebuilt response instead of re-ingesting. Call before serving traffic.
+func (s *Server) SeedIdempotency(replayed []warehouse.ReplayedIngest[int64]) {
+	for _, re := range replayed {
+		if re.Key == "" {
+			continue
+		}
+		s.idem.put(idemScope(re.Dataset, re.Partition, re.Key), IngestResponse{
+			Dataset:   re.Dataset,
+			Partition: re.Partition,
+			Read:      re.Values,
+			Sample:    sampleMeta(re.Sample),
+		})
+	}
 }
 
 // routes mounts every endpoint. Health and metrics bypass admission control

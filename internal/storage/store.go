@@ -179,9 +179,31 @@ func (s *FileStore[V]) keyFor(path string) (string, error) {
 	return b.String(), nil
 }
 
-// writeAtomic writes data to path via temp file + fsync + rename, so a crash
-// at any point leaves either the old file or the new one — never a partial
-// write — visible under path. Callers hold s.mu.
+// syncDir fsyncs a directory, making a preceding rename (or create/remove)
+// inside it durable. On filesystems where directories cannot be fsynced the
+// open itself fails and the error is reported — better a loud failure than a
+// silent durability hole.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via temp file + fsync + rename + parent
+// directory fsync, so a crash at any point leaves either the old file or the
+// new one — never a partial write — visible under path. The directory fsync
+// matters: without it the rename itself lives only in the directory's dirty
+// page and a power cut can roll the path back to the old file (or nothing)
+// even though the data blocks were synced. Callers hold s.mu.
 func writeAtomic(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("mkdir: %w", err)
@@ -208,6 +230,9 @@ func writeAtomic(path string, data []byte) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("rename: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("durable rename: %w", err)
 	}
 	return nil
 }
@@ -272,6 +297,11 @@ func (s *FileStore[V]) Get(key string) (*core.Sample[V], error) {
 func (s *FileStore[V]) quarantine(key, path string) {
 	s.mu.Lock()
 	err := os.Rename(path, path+corruptExt)
+	if err == nil {
+		// Make the quarantine itself crash-durable; a rolled-back rename
+		// would resurrect the corrupt file under its original key.
+		_ = syncDir(filepath.Dir(path))
+	}
 	s.mu.Unlock()
 	if err != nil {
 		// The file may already be gone (concurrent delete); nothing to keep.

@@ -47,6 +47,7 @@ import (
 	"samplewh/internal/server"
 	"samplewh/internal/storage"
 	"samplewh/internal/stream"
+	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 	"samplewh/internal/workload"
 )
@@ -576,6 +577,17 @@ func NewServerClient(base string, httpc *http.Client) *ServerClient {
 // IsShed reports whether err (from a ServerClient call) is a 429 load-shed
 // response; its APIError carries the server's Retry-After hint.
 func IsShed(err error) bool { return server.IsShed(err) }
+
+// ClientRetryPolicy tunes a ServerClient's automatic retries of shed (429)
+// and transient 5xx responses for idempotent requests: capped jittered
+// backoff, Retry-After honored, bounded by the request context. NewClient
+// installs server.DefaultRetryPolicy(); server.NoRetry() disables it.
+type ClientRetryPolicy = server.RetryPolicy
+
+// IngestJournal is the segmented write-ahead ingest journal: configure one
+// on ServerConfig.Journal to make acknowledged ingest batches crash-durable
+// (see cmd/swd and DESIGN.md §11).
+type IngestJournal = wal.Log[int64]
 
 // WorkloadSpec describes a synthetic data set (the paper's unique, uniform
 // and Zipfian evaluation workloads).

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Chaos drill for the durable ingest path: build swd, then let swbench
+# repeatedly SIGKILL a live daemon under concurrent keyed ingest and verify
+# that every acknowledged batch survives exactly once (DESIGN.md §11).
+#
+# Usage: scripts/chaos-ingest.sh [cycles] [workers]
+set -eu
+
+CYCLES="${1:-20}"
+WORKERS="${2:-4}"
+DIR="$(mktemp -d)"
+
+cleanup() { rm -rf "$DIR"; }
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/swd" ./cmd/swd
+
+echo "== chaos ($CYCLES kills, $WORKERS workers)"
+go run ./cmd/swbench -exp chaos -swd "$DIR/swd" -ccycles "$CYCLES" -cworkers "$WORKERS"
+
+echo "chaos-ingest: OK"
