@@ -10,7 +10,8 @@
 //	concise     §3.3 concise-sampling non-uniformity demonstration
 //	uniformity  chi-square uniformity audit of all three pipelines
 //	faults      fault-injection drill: transient storm + bit-rot degradation
-//	querypath   read-path scaling: cold vs warm cache, merge parallelism
+//	querypath   read-path scaling: cold vs warm cache, merge parallelism,
+//	            trace-overhead guard (tracing on vs off, <5% bound)
 //	serve       serving-layer ladder: client-observed latency quantiles + shed rate
 //	all         everything above except faults, querypath and serve
 //

@@ -64,10 +64,16 @@ func main() {
 	dir := flag.String("dir", "", "warehouse directory (required except for query)")
 	metrics := flag.Bool("metrics", false, "instrument the warehouse and print a metrics report to stderr")
 	flag.Parse()
-	// query speaks HTTP to a running swd; it needs no local warehouse, so it
-	// dispatches before the -dir requirement.
-	if flag.Arg(0) == "query" {
+	// query and slowlog speak HTTP to a running swd; they need no local
+	// warehouse, so they dispatch before the -dir requirement.
+	switch flag.Arg(0) {
+	case "query":
 		if err := query(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "slowlog":
+		if err := slowlog(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -132,7 +138,8 @@ commands:
   fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog,
            check wal/ segments for torn tails and orphans)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
-           [-confidence 0.95] [-json]   (against a running swd; no -dir needed)`)
+           [-confidence 0.95] [-explain] [-json]   (against a running swd; no -dir needed)
+  slowlog  -addr URL [-json]   (a running swd's slow-query log with span trees)`)
 }
 
 func fatal(err error) {
@@ -754,6 +761,7 @@ func query(args []string) error {
 	strict := fs.Bool("strict", false, "fail instead of degrading when a partition is unreadable")
 	timeout := fs.Duration("timeout", 0, "server-side deadline (0 = server default)")
 	confidence := fs.Float64("confidence", 0, "confidence level (0 = server default 0.95)")
+	explain := fs.Bool("explain", false, "ask the server for the request's span tree and print it")
 	asJSON := fs.Bool("json", false, "print the raw JSON response")
 	fs.Parse(args)
 	if *q != "" && *ds == "" {
@@ -769,7 +777,7 @@ func query(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout+5*time.Second)
 		defer cancel()
 	}
-	opts := server.QueryOpts{Strict: *strict, Timeout: *timeout, Confidence: *confidence}
+	opts := server.QueryOpts{Strict: *strict, Timeout: *timeout, Confidence: *confidence, Explain: *explain}
 	if *part != "" {
 		for _, p := range strings.Split(*part, ",") {
 			opts.Parts = append(opts.Parts, strings.TrimSpace(p))
@@ -846,6 +854,69 @@ func query(args []string) error {
 			}
 			fmt.Println()
 		}
+		if resp.Trace != nil {
+			fmt.Printf("trace %s:\n", resp.TraceID)
+			printSpan(*resp.Trace, 1)
+		}
 		return nil
 	}
+}
+
+// printSpan renders one span subtree, indented by depth, durations in ms.
+func printSpan(sp obs.SpanSnapshot, depth int) {
+	fmt.Printf("%s%-16s %9.3fms", strings.Repeat("  ", depth), sp.Name, float64(sp.DurationNS)/1e6)
+	keys := make([]string, 0, len(sp.Labels))
+	for k := range sp.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%s", k, sp.Labels[k])
+	}
+	keys = keys[:0]
+	for k := range sp.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%d", k, sp.Values[k])
+	}
+	if sp.DroppedChildren > 0 {
+		fmt.Printf("  (+%d children dropped)", sp.DroppedChildren)
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+// slowlog fetches and renders a running swd's slow-query log.
+func slowlog(args []string) error {
+	fs := flag.NewFlagSet("slowlog", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8385", "swd base URL")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	fs.Parse(args)
+
+	cl := server.NewClient(*addr, nil)
+	resp, err := cl.SlowLog(context.Background())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	if !resp.Enabled {
+		fmt.Println("slow-query log disabled (-slowlog-threshold < 0)")
+		return nil
+	}
+	fmt.Printf("slow-query log: %d recorded, %d retained (threshold %.0fms, ring %d)\n",
+		resp.Total, len(resp.Entries), float64(resp.ThresholdNS)/1e6, resp.Size)
+	for _, e := range resp.Entries {
+		fmt.Printf("\n%s  %s  %s  %.3fms\n",
+			e.Time.Format(time.RFC3339), e.TraceID, e.Route, float64(e.DurationNS)/1e6)
+		printSpan(e.Trace, 1)
+	}
+	return nil
 }

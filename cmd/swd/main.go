@@ -8,6 +8,8 @@
 //
 //	GET    /healthz                                   liveness (fails while draining)
 //	GET    /metricsz                                  metrics snapshot (JSON)
+//	GET    /metrics                                   metrics in Prometheus text format
+//	GET    /debug/slowlog                             slow-query log with span trees
 //	GET    /v1/datasets                               list data sets
 //	POST   /v1/datasets                               create a data set
 //	GET    /v1/datasets/{ds}                          describe one data set
@@ -65,6 +67,8 @@ func main() {
 		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "max queued time before a request is shed")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 		events       = flag.Int("events", 256, "trace-event ring buffer size (0 disables tracing)")
+		slowlogThr   = flag.Duration("slowlog-threshold", 500*time.Millisecond, "record requests slower than this in the slow-query log (negative disables)")
+		slowlogSize  = flag.Int("slowlog-size", 64, "slow-query log ring size")
 		walOn        = flag.Bool("wal", true, "write-ahead ingest journal (crash-durable acks; -dir mode only)")
 		walSync      = flag.String("wal-sync", "always", "journal fsync policy: always | interval | off")
 		walInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "journal fsync period under -wal-sync=interval")
@@ -80,13 +84,15 @@ func main() {
 	if err := run(*addr, *dir, *mem, *seed, serverOpts{
 		cacheBytes: *cacheBytes, loadWorkers: *loadWorkers, mergeWorkers: *mergeWorkers,
 		cfg: server.Config{
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			QueryLimit:     *queryLimit,
-			IngestLimit:    *ingestLimit,
-			ReadLimit:      *readLimit,
-			QueueDepth:     *queueDepth,
-			QueueWait:      *queueWait,
+			DefaultTimeout:   *timeout,
+			MaxTimeout:       *maxTimeout,
+			QueryLimit:       *queryLimit,
+			IngestLimit:      *ingestLimit,
+			ReadLimit:        *readLimit,
+			QueueDepth:       *queueDepth,
+			QueueWait:        *queueWait,
+			SlowLogThreshold: *slowlogThr,
+			SlowLogSize:      *slowlogSize,
 		},
 		drainTimeout: *drainTimeout,
 		events:       *events,

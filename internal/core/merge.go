@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 )
 
@@ -354,7 +356,7 @@ func MergeSerial[V comparable](samples []*Sample[V], merge MergeFunc[V], src ran
 // produces byte-identical output for the same seed. Foreign Source
 // implementations cannot be split; all merges then share src sequentially.
 func MergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source) (*Sample[V], error) {
-	return mergeTree(samples, merge, src, 1)
+	return mergeTree(context.Background(), samples, merge, src, 1)
 }
 
 // MergeTreeParallel is MergeTree with every level's pairwise merges executed
@@ -367,12 +369,23 @@ func MergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx
 // cannot be split across goroutines; the tree then runs sequentially on the
 // shared stream. Inputs are consumed.
 func MergeTreeParallel[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
-	return mergeTree(samples, merge, src, parallelism)
+	return mergeTree(context.Background(), samples, merge, src, parallelism)
+}
+
+// MergeTreeParallelContext is MergeTreeParallel recording one trace span per
+// tree level when ctx carries an obs span: each level span notes its index,
+// pair count and effective worker count, so a request's explain output shows
+// where merge time concentrates (the bottom level does half the work). The
+// merged result is byte-identical to MergeTreeParallel — tracing never
+// touches the randomness assignment. An untraced ctx costs one nil check
+// per level.
+func MergeTreeParallelContext[V comparable](ctx context.Context, samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
+	return mergeTree(ctx, samples, merge, src, parallelism)
 }
 
 // mergeTree is the shared balanced-tree executor behind MergeTree and
 // MergeTreeParallel.
-func mergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
+func mergeTree[V comparable](ctx context.Context, samples []*Sample[V], merge MergeFunc[V], src randx.Source, parallelism int) (*Sample[V], error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: MergeTree with no samples")
 	}
@@ -382,8 +395,9 @@ func mergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx
 		// goroutines; run the tree sequentially on it.
 		parallelism = 1
 	}
+	parent := obs.SpanFromContext(ctx)
 	level := samples
-	for len(level) > 1 {
+	for lvl := 0; len(level) > 1; lvl++ {
 		pairs := len(level) / 2
 		next := make([]*Sample[V], (len(level)+1)/2)
 		errs := make([]error, pairs)
@@ -397,7 +411,12 @@ func mergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx
 				srcs[i] = src
 			}
 		}
-		if workers := parallelismOrPairs(parallelism, pairs); workers == 1 {
+		workers := parallelismOrPairs(parallelism, pairs)
+		sp := parent.Start("merge_level")
+		sp.SetValue("level", int64(lvl))
+		sp.SetValue("pairs", int64(pairs))
+		sp.SetValue("workers", int64(workers))
+		if workers == 1 {
 			for i := 0; i < pairs; i++ {
 				next[i], errs[i] = merge(level[2*i], level[2*i+1], srcs[i])
 			}
@@ -415,6 +434,7 @@ func mergeTree[V comparable](samples []*Sample[V], merge MergeFunc[V], src randx
 			}
 			wg.Wait()
 		}
+		sp.End()
 		for _, err := range errs {
 			if err != nil {
 				return nil, err

@@ -7,8 +7,9 @@ import (
 
 // TestQueryPathSmoke runs the read-path experiment at tiny scale and checks
 // the structural invariants: one cold + one warm row per partition count,
-// one merge row per worker count, zero store gets on every warm-cache cell,
-// and a full complement of store gets on every cold cell.
+// one merge row per worker count, a tracing-off + tracing-on row per
+// partition count, zero store gets on every warm-cache cell, and a full
+// complement of store gets on every cold cell.
 func TestQueryPathSmoke(t *testing.T) {
 	parts := []int{4}
 	workers := []int{1, 2}
@@ -16,7 +17,7 @@ func TestQueryPathSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRows := len(parts)*2 + len(parts)*len(workers)
+	wantRows := len(parts)*2 + len(parts)*len(workers) + len(parts)*2
 	if len(r.Rows) != wantRows {
 		t.Fatalf("%d rows, want %d:\n%v", len(r.Rows), wantRows, r)
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with -race; see race_on.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with -race. The race
+// detector multiplies the cost of every mutex and atomic operation, so
+// performance guards that compare instrumented against uninstrumented code
+// demote to advisory under it.
+const raceEnabled = true

@@ -59,6 +59,10 @@ const (
 	// journal segment and truncated it back to the last valid frame.
 	// Labels: "segment". Values: "offset", "lost_bytes".
 	EvWALTruncate = "wal_truncate"
+	// EvSlowQuery: a request exceeded the server's slow-query threshold and
+	// its span tree was recorded in the slow-query log. Labels: "route",
+	// "trace_id". Values: "ns".
+	EvSlowQuery = "slow_query"
 )
 
 // Event is one structured trace record. Component identifies the emitting

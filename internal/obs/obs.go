@@ -21,6 +21,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -90,9 +91,16 @@ const histBuckets = 65
 
 // Histogram is a bounded log-scale histogram of non-negative int64
 // observations (typically latencies in nanoseconds or sizes in bytes).
-// Buckets are powers of two, so quantile estimates are exact to within a
+//
+// Bucketing is power-of-two: bucket 0 counts observations v <= 0 and bucket
+// i (1 <= i <= 64) counts 2^(i-1) <= v < 2^i, so bucket i's inclusive upper
+// bound is 2^i - 1 and the 65 fixed buckets cover the whole int64 range in a
+// 520-byte footprint. Quantile estimates are therefore exact to within a
 // factor of two — plenty for "where does merge time go" questions — while
-// updates stay lock-free and allocation-free. A nil *Histogram is a no-op.
+// updates stay lock-free and allocation-free. Buckets exposes the raw
+// bound/count pairs for exporters (Prometheus exposition renders them as
+// cumulative le buckets); summary quantiles report bucket lower bounds. A
+// nil *Histogram is a no-op.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -143,6 +151,46 @@ func (t Timer) Stop() int64 {
 	ns := time.Since(t.t0).Nanoseconds()
 	t.h.Observe(ns)
 	return ns
+}
+
+// HistogramBucket is one histogram bucket: Count observations were <= Bound
+// and greater than the previous bucket's Bound (counts are per-bucket, not
+// cumulative). The top bucket's Bound is math.MaxInt64.
+type HistogramBucket struct {
+	Bound int64 `json:"bound"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the histogram's bound/count pairs, trimmed to the highest
+// non-empty bucket (nil for a nil or empty histogram). Bounds are inclusive
+// upper bounds: 0, 1, 3, 7, ..., 2^i-1, ..., MaxInt64 — the power-of-two
+// scheme documented on Histogram. Under concurrent updates the counts are a
+// per-bucket-atomic snapshot; cumulative sums over the returned slice are
+// monotone by construction.
+func (h *Histogram) Buckets() []HistogramBucket {
+	if h == nil {
+		return nil
+	}
+	var counts [histBuckets]int64
+	top := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	out := make([]HistogramBucket, top+1)
+	for i := 0; i <= top; i++ {
+		bound := int64(math.MaxInt64)
+		if i < 64 {
+			bound = int64(1)<<uint(i) - 1
+		}
+		out[i] = HistogramBucket{Bound: bound, Count: counts[i]}
+	}
+	return out
 }
 
 // summary snapshots a histogram's distribution.

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request-scoped span tree: a root span plus the timed stages
+// recorded beneath it as the request flows through admission control, the
+// journal, the loader, the merge executor and the estimators. It is the
+// primitive behind the server's ?explain=1 query EXPLAIN and the slow-query
+// log.
+//
+// Like the rest of obs, traces are nil-safe: every method on a nil *Trace or
+// nil *Span is a no-op (Start on a nil span returns a nil span), so
+// instrumented code records unconditionally and an untraced call path — a
+// context that never passed through the tracing middleware — pays one
+// predictable nil check per stage. All methods are safe for concurrent use;
+// sibling spans may be recorded from concurrent goroutines (the loader's
+// partition fetches do exactly that).
+type Trace struct {
+	id    string
+	root  *Span
+	spans atomic.Int64 // spans started, root included
+}
+
+// maxSpanChildren bounds the children recorded under one span, so a
+// pathological request (a million-chunk ingest, say) cannot balloon the
+// slow-query log or an explain response. Overflow is counted, not silent:
+// the parent's snapshot carries DroppedChildren.
+const maxSpanChildren = 128
+
+// Span is one timed stage of a trace. Start opens children; End closes the
+// span (idempotent). Labels hold small string attributes, Values numeric
+// ones.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // zero while the span is open
+	labels   map[string]string
+	values   map[string]int64
+	children []*Span
+	dropped  int
+}
+
+// NewTraceID returns a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// the clock so tracing still works.
+		now := time.Now().UnixNano()
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is acceptable as a propagated trace ID:
+// 1–64 characters drawn from [0-9a-zA-Z_-]. Anything else (empty, huge, or
+// containing exposition-hostile characters) is rejected and the server mints
+// a fresh ID instead.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StartTrace opens a trace whose root span is named name. An empty or
+// invalid id mints a fresh one (propagated IDs are validated so a hostile
+// header cannot smuggle arbitrary bytes into logs and explain output).
+func StartTrace(id, name string) *Trace {
+	if !ValidTraceID(id) {
+		id = NewTraceID()
+	}
+	tr := &Trace{id: id}
+	tr.root = &Span{tr: tr, name: name, start: time.Now()}
+	tr.spans.Store(1)
+	return tr
+}
+
+// ID returns the trace ID ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Spans returns the number of spans started so far, root included.
+func (t *Trace) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Load()
+}
+
+// Finish ends the root span (idempotent) and returns the root's duration.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.root.End()
+	t.root.mu.Lock()
+	defer t.root.mu.Unlock()
+	return t.root.end.Sub(t.root.start)
+}
+
+// Snapshot renders the whole span tree. Open spans (the snapshot may be
+// taken mid-request, e.g. for explain output while the root is still
+// running) report their duration as "so far".
+func (t *Trace) Snapshot() SpanSnapshot {
+	if t == nil {
+		return SpanSnapshot{}
+	}
+	return t.root.snapshot(t.root.start, time.Now())
+}
+
+// Trace returns the trace this span belongs to (nil for a nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Start opens a child span named name. On a nil span it returns nil — the
+// no-op span — so call sites never branch on "is tracing enabled". When the
+// parent already holds maxSpanChildren children the child is not retained
+// (the drop is counted in the parent's snapshot) but is still returned live,
+// so the caller's End/SetLabel calls remain harmless.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.mu.Lock()
+	if len(s.children) < maxSpanChildren {
+		s.children = append(s.children, child)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	if s.tr != nil {
+		s.tr.spans.Add(1)
+	}
+	return child
+}
+
+// End closes the span. The first call wins; later calls are no-ops, so
+// "defer sp.End()" composes with an explicit early End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetLabel attaches a string attribute.
+func (s *Span) SetLabel(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 2)
+	}
+	s.labels[k] = v
+	s.mu.Unlock()
+}
+
+// SetValue attaches a numeric attribute.
+func (s *Span) SetValue(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.values == nil {
+		s.values = make(map[string]int64, 2)
+	}
+	s.values[k] = v
+	s.mu.Unlock()
+}
+
+// SetError records an error label and closes the span.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetLabel("error", err.Error())
+	s.End()
+}
+
+// SpanSnapshot is the exported form of one span: offsets are nanoseconds
+// from the trace (root span) start, so a rendered tree reads as a timeline.
+type SpanSnapshot struct {
+	Name            string            `json:"name"`
+	StartNS         int64             `json:"start_ns"`
+	DurationNS      int64             `json:"duration_ns"`
+	Open            bool              `json:"open,omitempty"`
+	Labels          map[string]string `json:"labels,omitempty"`
+	Values          map[string]int64  `json:"values,omitempty"`
+	DroppedChildren int               `json:"dropped_children,omitempty"`
+	Children        []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// snapshot copies the span subtree. origin is the trace start; now stands in
+// for the end time of still-open spans.
+func (s *Span) snapshot(origin, now time.Time) SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	open := end.IsZero()
+	if open {
+		end = now
+	}
+	out := SpanSnapshot{
+		Name:            s.name,
+		StartNS:         s.start.Sub(origin).Nanoseconds(),
+		DurationNS:      end.Sub(s.start).Nanoseconds(),
+		Open:            open,
+		DroppedChildren: s.dropped,
+	}
+	if len(s.labels) > 0 {
+		out.Labels = make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			out.Labels[k] = v
+		}
+	}
+	if len(s.values) > 0 {
+		out.Values = make(map[string]int64, len(s.values))
+		for k, v := range s.values {
+			out.Values[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot(origin, now))
+	}
+	return out
+}
+
+// spanKey is the context key carrying the current span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span; stages deeper
+// in the call tree attach their spans to it via SpanFromContext.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil (the no-op span) when ctx
+// is untraced.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

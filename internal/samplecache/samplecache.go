@@ -21,6 +21,7 @@ import (
 	"container/list"
 	"strings"
 	"sync"
+	"time"
 
 	"samplewh/internal/core"
 	"samplewh/internal/obs"
@@ -46,9 +47,10 @@ type Cache[V comparable] struct {
 }
 
 type entry[V comparable] struct {
-	key  string
-	s    *core.Sample[V]
-	size int64
+	key      string
+	s        *core.Sample[V]
+	size     int64
+	inserted time.Time
 }
 
 // New returns a cache holding at most budget bytes of sample footprint.
@@ -80,8 +82,16 @@ func (c *Cache[V]) Instrument(reg *obs.Registry) {
 // Get returns the cached sample for key. The returned sample is shared and
 // must not be mutated; Clone before merging. Safe on nil (always a miss).
 func (c *Cache[V]) Get(key string) (*core.Sample[V], bool) {
+	s, _, ok := c.GetWithAge(key)
+	return s, ok
+}
+
+// GetWithAge is Get also reporting how long the entry has been cached (time
+// since Put), so read-path tracing can label a hit with the staleness of the
+// sample it served. Safe on nil (always a miss).
+func (c *Cache[V]) GetWithAge(key string) (*core.Sample[V], time.Duration, bool) {
 	if c == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -89,12 +99,13 @@ func (c *Cache[V]) Get(key string) (*core.Sample[V], bool) {
 	if !ok {
 		c.misses++
 		c.o.misses.Inc()
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
 	c.o.hits.Inc()
-	return el.Value.(*entry[V]).s, true
+	e := el.Value.(*entry[V])
+	return e.s, time.Since(e.inserted), true
 }
 
 // Put inserts s under key, taking ownership of s (callers must not mutate it
@@ -122,7 +133,7 @@ func (c *Cache[V]) Put(key string, s *core.Sample[V]) {
 		}
 		c.evictLocked(back)
 	}
-	el := c.ll.PushFront(&entry[V]{key: key, s: s, size: size})
+	el := c.ll.PushFront(&entry[V]{key: key, s: s, size: size, inserted: time.Now()})
 	c.entries[key] = el
 	c.bytes += size
 	c.o.bytes.Set(c.bytes)

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"samplewh/internal/obs"
 )
 
 // Client is the Go client for a running swd server. It is the single
@@ -168,6 +170,12 @@ func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error 
 // JSON response into out (skipped when out is nil). Non-2xx responses decode
 // the error envelope into an APIError.
 func (c *Client) do(req *http.Request, out any) error {
+	// Propagate the caller's trace: a request issued under a traced context
+	// (a server fanning out to peers, an instrumented benchmark) carries its
+	// trace ID so the receiving server joins the same trace.
+	if id := obs.SpanFromContext(req.Context()).Trace().ID(); id != "" && req.Header.Get(TraceHeader) == "" {
+		req.Header.Set(TraceHeader, id)
+	}
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 || !retryableRequest(req) {
 		attempts = 1
@@ -354,6 +362,9 @@ type QueryOpts struct {
 	Confidence float64
 	// Limit caps the value entries of a Sample response (-0 = all).
 	Limit int
+	// Explain asks the server for the request's span tree (?explain=1),
+	// populating the response's TraceID and Trace fields.
+	Explain bool
 }
 
 func (o QueryOpts) values() url.Values {
@@ -372,6 +383,9 @@ func (o QueryOpts) values() url.Values {
 	}
 	if o.Limit > 0 {
 		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	if o.Explain {
+		q.Set("explain", "1")
 	}
 	return q
 }
@@ -397,5 +411,12 @@ func (c *Client) Estimate(ctx context.Context, ds, q string, opts QueryOpts) (Es
 func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
 	var out json.RawMessage
 	err := c.get(ctx, "/metricsz", nil, &out)
+	return out, err
+}
+
+// SlowLog fetches the server's slow-query log, newest entry first.
+func (c *Client) SlowLog(ctx context.Context) (SlowLogResponse, error) {
+	var out SlowLogResponse
+	err := c.get(ctx, "/debug/slowlog", nil, &out)
 	return out, err
 }

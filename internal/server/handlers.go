@@ -14,6 +14,7 @@ import (
 
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
+	"samplewh/internal/obs"
 	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
@@ -126,6 +127,10 @@ type SampleResponse struct {
 	Values   []ValueCount `json:"values,omitempty"`
 	// Truncated is set when ?limit= cut the value list short.
 	Truncated bool `json:"truncated,omitempty"`
+	// TraceID and Trace are populated by ?explain=1: the request's span tree
+	// as of response assembly (the query EXPLAIN ANALYZE).
+	TraceID string            `json:"trace_id,omitempty"`
+	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // DistinctResult carries the three distinct-count estimators.
@@ -150,6 +155,37 @@ type EstimateResponse struct {
 	Sample     SampleMeta                    `json:"sample"`
 	Coverage   Coverage                      `json:"coverage"`
 	ElapsedNS  int64                         `json:"elapsed_ns"`
+	// TraceID and Trace are populated by ?explain=1: the request's span tree
+	// as of response assembly (the query EXPLAIN ANALYZE). The top-level
+	// child spans — admission_wait, load, merge, estimate — partition the
+	// handler's elapsed time.
+	TraceID string            `json:"trace_id,omitempty"`
+	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
+}
+
+// explainParam parses ?explain= (default off).
+func explainParam(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("explain")
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, badRequest("bad explain %q", raw)
+	}
+	return v, nil
+}
+
+// explainTrace snapshots the request's trace for an explain response. The
+// root span is still open (the response has not left yet); its duration
+// reads "so far", which is exactly what EXPLAIN ANALYZE wants.
+func explainTrace(r *http.Request) (string, *obs.SpanSnapshot) {
+	tr := obs.SpanFromContext(r.Context()).Trace()
+	if tr == nil {
+		return "", nil
+	}
+	snap := tr.Snapshot()
+	return tr.ID(), &snap
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +208,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(s.o.reg.Snapshot().JSON())
+}
+
+// handlePrometheus is GET /metrics: every registry metric in the Prometheus
+// text exposition format, full bucket exposition included, so a stock
+// Prometheus server scrapes the daemon directly. /metricsz keeps serving the
+// JSON snapshot for humans and swcli.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	if s.o.reg == nil {
+		writeError(w, http.StatusNotFound, "server is not instrumented")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.o.reg.WritePrometheus(w)
+}
+
+// handleSlowLog is GET /debug/slowlog: the retained slow queries with their
+// span trees, newest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slow.snapshot())
 }
 
 // datasetInfo assembles the DatasetInfo DTO for one data set.
@@ -340,6 +396,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	}
 
 	ctx := r.Context()
+	// Trace the ingest stages: ingest_read covers the body scan with one
+	// wal_append child per journaled chunk; wal_seal wraps the fsync ack
+	// barrier; finalize and rollin time the sampler drain and the durable
+	// roll-in. Untraced requests pay nil checks only.
+	reqSpan := obs.SpanFromContext(ctx)
+	readSpan := reqSpan.Start("ingest_read")
+	appendChunk := func(vals []int64) error {
+		if len(vals) == 0 {
+			return nil
+		}
+		asp := readSpan.Start("wal_append")
+		asp.SetValue("values", int64(len(vals)))
+		err := entry.Append(vals)
+		asp.SetError(err)
+		asp.End()
+		return err
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -357,7 +430,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		if entry != nil {
 			chunk = append(chunk, v)
 			if len(chunk) == ingestChunk {
-				if err := entry.Append(chunk); err != nil {
+				if err := appendChunk(chunk); err != nil {
 					return fmt.Errorf("ingest %s/%s: journal: %w", ds, part, err)
 				}
 				chunk = chunk[:0]
@@ -387,20 +460,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if entry != nil {
-		if err := entry.Append(chunk); err != nil {
+		if err := appendChunk(chunk); err != nil {
 			return fmt.Errorf("ingest %s/%s: journal: %w", ds, part, err)
 		}
+	}
+	readSpan.SetValue("values", n)
+	readSpan.End()
+	if entry != nil {
 		// Seal is the durability barrier: after it returns, a crash anywhere
 		// below replays this batch on restart — the ack is safe to send.
-		if err := entry.Seal(n); err != nil {
+		ssp := reqSpan.Start("wal_seal")
+		err := entry.SealContext(obs.ContextWithSpan(ctx, ssp), n)
+		ssp.SetError(err)
+		ssp.End()
+		if err != nil {
 			return fmt.Errorf("ingest %s/%s: journal seal: %w", ds, part, err)
 		}
 	}
+	fsp := reqSpan.Start("finalize")
 	sample, err := smp.Finalize()
+	fsp.SetError(err)
+	fsp.End()
 	if err != nil {
 		return err
 	}
-	if err := s.wh.RollIn(ds, part, sample); err != nil {
+	rsp := reqSpan.Start("rollin")
+	err = s.wh.RollIn(ds, part, sample)
+	rsp.SetError(err)
+	rsp.End()
+	if err != nil {
 		return err
 	}
 	if entry != nil {
@@ -513,11 +601,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 		}
 		limit = v
 	}
+	explain, err := explainParam(r)
+	if err != nil {
+		return err
+	}
 	smp, cov, err := s.merged(r, ds, ids, partial)
 	if err != nil {
 		return err
 	}
 	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov}
+	if explain {
+		resp.TraceID, resp.Trace = explainTrace(r)
+	}
 	if limit != 0 {
 		entries := smp.Hist.Entries()
 		sort.Slice(entries, func(i, j int) bool { return entries[i].Value < entries[j].Value })
@@ -560,22 +655,35 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	explain, err := explainParam(r)
+	if err != nil {
+		return err
+	}
 	smp, cov, err := s.merged(r, ds, ids, partial)
 	if err != nil {
 		return err
 	}
+	esp := obs.SpanFromContext(r.Context()).Start("estimate")
+	esp.SetLabel("q", q)
 	est, err := estimate.NewWithConfidence(smp, confidence)
 	if err != nil {
+		esp.SetError(err)
 		return badRequest("%v", err)
 	}
 	resp := EstimateResponse{
 		Dataset: ds, Query: q, Confidence: confidence,
 		Sample: sampleMeta(smp), Coverage: cov,
 	}
-	if err := s.answer(&resp, est, smp, q); err != nil {
+	err = s.answer(&resp, est, smp, q)
+	esp.SetError(err)
+	esp.End()
+	if err != nil {
 		return err
 	}
 	resp.ElapsedNS = nowNS() - start
+	if explain {
+		resp.TraceID, resp.Trace = explainTrace(r)
+	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

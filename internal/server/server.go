@@ -70,6 +70,15 @@ type Config struct {
 	// Default 1s (rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
 
+	// SlowLogThreshold is the latency (admission wait included) above which
+	// a request's span tree is recorded in the slow-query log and a
+	// slow_query event is emitted. Default 500ms; negative disables the
+	// slow-query log.
+	SlowLogThreshold time.Duration
+	// SlowLogSize bounds the slow-query log ring (oldest entries are
+	// overwritten). Default 64.
+	SlowLogSize int
+
 	// Journal, when non-nil, is the write-ahead ingest journal: every
 	// acknowledged ingest batch is sealed in it (fsynced per its policy)
 	// before the response leaves, and the handler commits the entry once
@@ -113,6 +122,12 @@ func (c Config) normalized() Config {
 	if c.IdempotencyCapacity <= 0 {
 		c.IdempotencyCapacity = 4096
 	}
+	if c.SlowLogThreshold == 0 {
+		c.SlowLogThreshold = 500 * time.Millisecond
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
 	return c
 }
 
@@ -134,27 +149,33 @@ func (c Config) queueDepth(limit int) int {
 //	server.panics                handler panics recovered (counter)
 //	server.inflight              currently executing requests (gauge)
 //	server.latency_ns            request latency, admission to response (histogram)
+//	server.trace_requests        requests that opened a trace (counter)
+//	server.trace_spans           spans recorded across all traces (counter)
 //	server.route.<route>.requests   per-route admitted requests (counter)
 //	server.route.<route>.latency_ns per-route latency (histogram)
 type serverObs struct {
-	reg      *obs.Registry
-	requests *obs.Counter
-	shed     *obs.Counter
-	errors   *obs.Counter
-	panics   *obs.Counter
-	inflight *obs.Gauge
-	latency  *obs.Histogram
+	reg        *obs.Registry
+	requests   *obs.Counter
+	shed       *obs.Counter
+	errors     *obs.Counter
+	panics     *obs.Counter
+	inflight   *obs.Gauge
+	latency    *obs.Histogram
+	traceReqs  *obs.Counter
+	traceSpans *obs.Counter
 }
 
 func newServerObs(reg *obs.Registry) serverObs {
 	return serverObs{
-		reg:      reg,
-		requests: reg.Counter("server.requests"),
-		shed:     reg.Counter("server.shed"),
-		errors:   reg.Counter("server.errors"),
-		panics:   reg.Counter("server.panics"),
-		inflight: reg.Gauge("server.inflight"),
-		latency:  reg.Histogram("server.latency_ns"),
+		reg:        reg,
+		requests:   reg.Counter("server.requests"),
+		shed:       reg.Counter("server.shed"),
+		errors:     reg.Counter("server.errors"),
+		panics:     reg.Counter("server.panics"),
+		inflight:   reg.Gauge("server.inflight"),
+		latency:    reg.Histogram("server.latency_ns"),
+		traceReqs:  reg.Counter("server.trace_requests"),
+		traceSpans: reg.Counter("server.trace_spans"),
 	}
 }
 
@@ -168,6 +189,7 @@ type Server struct {
 	o       serverObs
 	journal *wal.Log[int64]
 	idem    *idemRegistry
+	slow    *slowLog
 
 	read   *limiter
 	ingest *limiter
@@ -189,6 +211,7 @@ func New(wh *warehouse.Warehouse[int64], cfg Config) *Server {
 		o:       newServerObs(cfg.Registry),
 		journal: cfg.Journal,
 		idem:    newIdemRegistry(cfg.IdempotencyCapacity),
+		slow:    newSlowLog(cfg.SlowLogThreshold, cfg.SlowLogSize, cfg.Registry),
 		read:    newLimiter(cfg.ReadLimit, cfg.queueDepth(cfg.ReadLimit), cfg.QueueWait),
 		ingest:  newLimiter(cfg.IngestLimit, cfg.queueDepth(cfg.IngestLimit), cfg.QueueWait),
 		query:   newLimiter(cfg.QueryLimit, cfg.queueDepth(cfg.QueryLimit), cfg.QueueWait),
@@ -219,6 +242,8 @@ func (s *Server) SeedIdempotency(replayed []warehouse.ReplayedIngest[int64]) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	s.mux.Handle("GET /v1/datasets", s.wrap(s.read, "datasets.list", s.handleDatasetList))
 	s.mux.Handle("POST /v1/datasets", s.wrap(s.ingest, "datasets.create", s.handleDatasetCreate))
 	s.mux.Handle("GET /v1/datasets/{ds}", s.wrap(s.read, "datasets.get", s.handleDatasetGet))
@@ -273,8 +298,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
 // wrap applies the middleware stack to a handler: panic isolation, request
-// accounting, deadline derivation, admission control, latency observation
-// and error mapping — in that order.
+// accounting, deadline derivation, trace creation, admission control,
+// latency observation, slow-query recording and error mapping — in that
+// order.
+//
+// Every wrapped request runs under a trace whose root span is the route
+// name: a client-supplied X-Swd-Trace-Id is honored (when valid) and the
+// effective ID is echoed on the response. The admission wait is the first
+// child span; handlers hang the rest of the tree off the context. Requests
+// slower than the configured threshold land in the slow-query log with
+// their full span tree.
 func (s *Server) wrap(lim *limiter, route string, fn handlerFunc) http.Handler {
 	routeReqs := s.o.reg.Counter("server.route." + route + ".requests")
 	routeLat := s.o.reg.Histogram("server.route." + route + ".latency_ns")
@@ -298,12 +331,20 @@ func (s *Server) wrap(lim *limiter, route string, fn handlerFunc) http.Handler {
 			return
 		}
 		defer cancel()
+
+		tr := obs.StartTrace(r.Header.Get(TraceHeader), route)
+		w.Header().Set(TraceHeader, tr.ID())
+		s.o.traceReqs.Inc()
+		ctx = obs.ContextWithSpan(ctx, tr.Root())
 		r = r.WithContext(ctx)
 
+		adm := tr.Root().Start("admission_wait")
 		if err := lim.acquire(ctx); err != nil {
+			adm.SetError(err)
 			s.shedOrCancel(w, route, err)
 			return
 		}
+		adm.End()
 		defer lim.release()
 
 		s.o.requests.Inc()
@@ -316,6 +357,9 @@ func (s *Server) wrap(lim *limiter, route string, fn handlerFunc) http.Handler {
 		s.o.latency.Observe(ns)
 		routeLat.Observe(ns)
 		s.served.Add(1)
+		elapsed := tr.Finish()
+		s.o.traceSpans.Add(tr.Spans())
+		s.slow.observe(route, tr, elapsed, s.o.reg)
 		if err != nil {
 			code, msg := errorStatus(err)
 			if code >= 500 {

@@ -31,6 +31,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -361,6 +362,15 @@ func (e *Entry[V]) Append(values []V) error {
 // batch will survive a crash — this is the barrier the ingest handler waits
 // on before acknowledging the client.
 func (e *Entry[V]) Seal(total int64) error {
+	return e.SealContext(context.Background(), total)
+}
+
+// SealContext is Seal recording the durability barrier in the request trace
+// when ctx carries an obs span: the fsync that gates the ingest ack appears
+// as a wal_fsync child span, separating queue/encode time from disk time in
+// explain output. ctx carries only the span — sealing is never canceled
+// part-way.
+func (e *Entry[V]) SealContext(ctx context.Context, total int64) error {
 	if e.sealed {
 		return fmt.Errorf("wal: double seal of entry %d", e.id)
 	}
@@ -382,7 +392,11 @@ func (e *Entry[V]) Seal(total int64) error {
 	e.l.mu.Unlock()
 	e.sealed = true
 	if e.l.opts.Policy == SyncAlways {
-		if err := e.l.syncTo(seq, off); err != nil {
+		sp := obs.SpanFromContext(ctx).Start("wal_fsync")
+		err := e.l.syncTo(seq, off)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}

@@ -213,14 +213,30 @@ func (l *loader[V]) load(ctx context.Context, keys []string) []loadResult[V] {
 // not cancelable, and an abandoned result can still populate the cache for
 // the next caller); ctx is honored before starting one and while waiting on
 // another goroutine's in-flight fetch.
-func (l *loader[V]) loadOne(ctx context.Context, key string) (*core.Sample[V], error) {
+//
+// When ctx carries an obs span, each call records a load_partition child span
+// labeled with the key and how it was satisfied (cache=hit|coalesced|miss),
+// the sample footprint in bytes and, on a hit, the cache entry's age.
+func (l *loader[V]) loadOne(ctx context.Context, key string) (s *core.Sample[V], err error) {
+	sp := obs.SpanFromContext(ctx).Start("load_partition")
+	sp.SetLabel("partition", key)
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+		} else if s != nil {
+			sp.SetValue("bytes", s.Footprint())
+		}
+		sp.End()
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		l.mu.Lock()
-		if s, ok := l.cache.Get(key); ok {
+		if s, age, ok := l.cache.GetWithAge(key); ok {
 			l.mu.Unlock()
+			sp.SetLabel("cache", "hit")
+			sp.SetValue("cache_age_ns", int64(age))
 			return s.Clone(), nil
 		}
 		if f, ok := l.flights[key]; ok {
@@ -238,6 +254,7 @@ func (l *loader[V]) loadOne(ctx context.Context, key string) (*core.Sample[V], e
 			f.waiters++
 			l.mu.Unlock()
 			l.o.loadDedup.Inc()
+			sp.SetLabel("cache", "coalesced")
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -253,6 +270,7 @@ func (l *loader[V]) loadOne(ctx context.Context, key string) (*core.Sample[V], e
 		f := &flight[V]{done: make(chan struct{}), gen: l.gen}
 		l.flights[key] = f
 		l.mu.Unlock()
+		sp.SetLabel("cache", "miss")
 
 		t := l.o.loadNS.Start()
 		f.s, f.err = l.store.Get(key)

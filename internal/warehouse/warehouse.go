@@ -532,7 +532,13 @@ func (w *Warehouse[V]) mergedSample(ctx context.Context, dataset string, partiti
 		seen[id] = true
 		keys[i] = w.key(dataset, id)
 	}
-	results := w.ld.load(ctx, keys)
+	// Stage spans: load and merge are siblings under the caller's span, so
+	// their durations partition the request time the way explain reports it.
+	reqSpan := obs.SpanFromContext(ctx)
+	loadSpan := reqSpan.Start("load")
+	loadSpan.SetValue("partitions", int64(len(keys)))
+	results := w.ld.load(obs.ContextWithSpan(ctx, loadSpan), keys)
+	loadSpan.End()
 	samples := make([]*core.Sample[V], 0, len(ids))
 	for i, r := range results {
 		id := ids[i]
@@ -567,18 +573,24 @@ func (w *Warehouse[V]) mergedSample(ctx context.Context, dataset string, partiti
 	w.mu.Unlock()
 
 	workers := resolveMergeWorkers(mergeWorkers)
+	mergeSpan := reqSpan.Start("merge")
+	mergeSpan.SetValue("inputs", int64(len(samples)))
+	mergeSpan.SetValue("workers", int64(workers))
+	mctx := obs.ContextWithSpan(ctx, mergeSpan)
 	t := w.o.mergeNS.Start()
 	var merged *core.Sample[V]
 	var err error
 	switch alg {
 	case AlgSB:
-		merged, err = core.MergeTreeParallel(samples, core.SBMerge[V], src, workers)
+		merged, err = core.MergeTreeParallelContext(mctx, samples, core.SBMerge[V], src, workers)
 	case AlgHB:
-		merged, err = core.MergeTreeParallel(samples, core.HBMerge[V], src, workers)
+		merged, err = core.MergeTreeParallelContext(mctx, samples, core.HBMerge[V], src, workers)
 	default:
-		merged, err = core.MergeTreeParallel(samples, core.HRMerge[V], src, workers)
+		merged, err = core.MergeTreeParallelContext(mctx, samples, core.HRMerge[V], src, workers)
 	}
 	ns := t.Stop()
+	mergeSpan.SetError(err)
+	mergeSpan.End()
 	if err != nil {
 		err = fmt.Errorf("warehouse: merge %s: %w", dataset, err)
 		w.o.fail("merge", dataset, "", err)

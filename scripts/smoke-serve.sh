@@ -1,7 +1,8 @@
 #!/bin/sh
 # Smoke test for the swd serving daemon: boot it against a throwaway
-# warehouse, issue one request per endpoint (curl + swcli query), then
-# SIGTERM it and require a clean graceful drain (exit 0).
+# warehouse, issue one request per endpoint (curl + swcli query), validate
+# the Prometheus exposition and the explain/slowlog surfaces, then SIGTERM
+# it and require a clean graceful drain (exit 0).
 set -eu
 
 DIR="$(mktemp -d)"
@@ -20,7 +21,9 @@ go build -o "$DIR/swd" ./cmd/swd
 go build -o "$DIR/swcli" ./cmd/swcli
 
 echo "== boot"
-"$DIR/swd" -dir "$DIR/wh" -addr "$ADDR" -timeout 5s &
+# -slowlog-threshold 1ns makes every request "slow" so the slowlog surfaces
+# are exercised without needing an actually slow query.
+"$DIR/swd" -dir "$DIR/wh" -addr "$ADDR" -timeout 5s -slowlog-threshold 1ns &
 SWD_PID=$!
 
 # Wait for the listener (up to ~5s).
@@ -66,10 +69,70 @@ expect 404 "$BASE/v1/datasets/nope"
 expect 400 "$BASE/v1/datasets/smoke/estimate?q=explode"
 expect 200 -X DELETE "$BASE/v1/datasets/smoke/partitions/p1"
 
+echo "== explain"
+body="$(curl -s "$BASE/v1/datasets/smoke/estimate?q=avg&explain=1")"
+case "$body" in
+*'"trace_id"'*'"trace"'*) ;;
+*) echo "FAIL: explain response carries no trace: $body" >&2; exit 1 ;;
+esac
+expect 400 "$BASE/v1/datasets/smoke/estimate?q=avg&explain=banana"
+
+echo "== slowlog"
+slow="$(curl -s "$BASE/debug/slowlog")"
+case "$slow" in
+*'"enabled": true'*'"trace_id"'*) ;;
+*'"enabled":true'*'"trace_id"'*) ;;
+*) echo "FAIL: slowlog empty or disabled: $slow" >&2; exit 1 ;;
+esac
+
+echo "== prometheus exposition"
+ctype="$(curl -s -o "$DIR/metrics.prom" -w '%{content_type}' "$BASE/metrics")"
+case "$ctype" in
+text/plain*) ;;
+*) echo "FAIL: /metrics content type $ctype" >&2; exit 1 ;;
+esac
+# Structural validation with nothing but awk: every sample series must be
+# announced by HELP and TYPE lines, histogram buckets must be cumulative
+# (monotone in exposition order), and the +Inf bucket must equal _count.
+awk '
+/^# HELP / { help[$3] = 1; next }
+/^# TYPE / { type[$3] = $4; next }
+/^#/       { next }
+NF == 0    { next }
+{
+    name = $1
+    sub(/\{.*/, "", name)
+    base = name
+    sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in type) && !(base in type)) { print "no TYPE for " name; bad = 1 }
+    if (!(name in help) && !(base in help)) { print "no HELP for " name; bad = 1 }
+    if (name ~ /_bucket$/ && match($1, /le="[^"]*"/)) {
+        le = substr($1, RSTART + 4, RLENGTH - 5)
+        v = $NF + 0
+        if (seen[base] && v < prev[base]) { print base " buckets regress at le=" le; bad = 1 }
+        seen[base] = 1; prev[base] = v
+        if (le == "+Inf") inf[base] = v
+    }
+    if (name ~ /_count$/ && type[base] == "histogram") cnt[base] = $NF + 0
+}
+END {
+    nhist = 0
+    for (b in type) {
+        if (type[b] != "histogram") continue
+        nhist++
+        if (!(b in inf))           { print b ": no +Inf bucket"; bad = 1 }
+        else if (inf[b] != cnt[b]) { print b ": +Inf " inf[b] " != count " cnt[b]; bad = 1 }
+    }
+    if (nhist == 0) { print "no histograms in exposition"; bad = 1 }
+    exit bad
+}' "$DIR/metrics.prom"
+
 echo "== swcli query"
 "$DIR/swcli" query -addr "$BASE"
 "$DIR/swcli" query -addr "$BASE" -ds smoke -q avg
 "$DIR/swcli" query -addr "$BASE" -ds smoke -q distinct -json >/dev/null
+"$DIR/swcli" query -addr "$BASE" -ds smoke -q avg -explain | grep -q "trace "
+"$DIR/swcli" slowlog -addr "$BASE" >/dev/null
 
 echo "== drain"
 kill -TERM "$SWD_PID"
