@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query bench-serve smoke-serve chaos fuzz
+.PHONY: check fmt vet build test bench bench-query bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
 
 check: fmt vet build test
 
@@ -37,6 +37,12 @@ bench-query:
 bench-serve:
 	go run ./cmd/swbench -exp serve -sclients 1,2,4,8,16,32 -sdur 2s -json BENCH_serve.json
 
+# Cluster benchmark (DESIGN.md §13): replicated scatter-gather ladder over
+# shard counts plus a one-shard-down kill drill through the survivors,
+# written to BENCH_cluster.json.
+bench-cluster:
+	go run ./cmd/swbench -exp cluster -clshards 1,2,4 -clclients 8 -cldur 2s -json BENCH_cluster.json
+
 # Boot a real swd, hit every endpoint once with curl + swcli query, then
 # SIGTERM it and require a clean drain (exit 0). The one-query-per-endpoint
 # pass is the serving subsystem's CI smoke test.
@@ -51,6 +57,12 @@ CHAOS_WORKERS ?= 4
 
 chaos:
 	./scripts/chaos-ingest.sh $(CHAOS_CYCLES) $(CHAOS_WORKERS)
+
+# Cluster kill drill: boot a 3-shard swd cluster (replication 2), SIGKILL one
+# shard under concurrent keyed ingest and queries, and require exactly-once
+# acknowledged batches plus error-free (possibly degraded) answers throughout.
+chaos-cluster:
+	./scripts/chaos-cluster.sh
 
 # Short fuzz pass over the binary sample codec (decode must never panic and
 # must reject corrupted inputs). Override FUZZTIME for longer campaigns.

@@ -13,7 +13,8 @@
 //	querypath   read-path scaling: cold vs warm cache, merge parallelism,
 //	            trace-overhead guard (tracing on vs off, <5% bound)
 //	serve       serving-layer ladder: client-observed latency quantiles + shed rate
-//	all         everything above except faults, querypath and serve
+//	cluster     replicated scatter-gather ladder + one-shard-down kill drill
+//	all         everything above except faults, querypath, serve and cluster
 //
 // The defaults run a laptop-scale configuration; pass -full for the paper's
 // original sizes (N = 2^26 for speedup, scale factors to 512, 3 runs),
@@ -68,7 +69,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, chaos, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, cluster, chaos, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -85,6 +86,9 @@ func main() {
 		sclients    = flag.String("sclients", "1,2,4,8,16,32", "serve experiment: comma-separated client counts")
 		sdur        = flag.Duration("sdur", 2*time.Second, "serve experiment: duration per client count")
 		faultRate   = flag.Float64("fault-rate", 0.2, "faults experiment: transient failure probability per store op")
+		clShards    = flag.String("clshards", "1,2,4", "cluster experiment: comma-separated shard counts")
+		clClients   = flag.Int("clclients", 8, "cluster experiment: closed-loop query clients")
+		clDur       = flag.Duration("cldur", 2*time.Second, "cluster experiment: duration per rung")
 		swdPath     = flag.String("swd", "", "chaos experiment: path to a built swd binary")
 		ccycles     = flag.Int("ccycles", 20, "chaos experiment: SIGKILL/restart cycles")
 		cworkers    = flag.Int("cworkers", 4, "chaos experiment: concurrent ingest workers")
@@ -192,6 +196,11 @@ func main() {
 			return emit(name, r, err)
 		case "serve":
 			r, err := experiments.Serve(parseInts(*sclients), *sdur, opt)
+			return emit(name, r, err)
+		case "cluster":
+			r, err := experiments.Cluster(experiments.ClusterConfig{
+				Shards: parseInts(*clShards), Clients: *clClients, Dur: *clDur,
+			}, opt)
 			return emit(name, r, err)
 		case "chaos":
 			r, err := experiments.Chaos(experiments.ChaosConfig{

@@ -77,6 +77,11 @@ func main() {
 			fatal(err)
 		}
 		return
+	case "cluster":
+		if err := clusterCmd(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *dir == "" || flag.NArg() < 1 {
 		usage()
@@ -139,7 +144,9 @@ commands:
            check wal/ segments for torn tails and orphans)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
            [-confidence 0.95] [-explain] [-json]   (against a running swd; no -dir needed)
-  slowlog  -addr URL [-json]   (a running swd's slow-query log with span trees)`)
+  slowlog  -addr URL [-json]   (a running swd's slow-query log with span trees)
+  cluster  status -addr URL [-json]   (a cluster node's membership, breaker and
+           placement view via GET /clusterz)`)
 }
 
 func fatal(err error) {
@@ -888,6 +895,56 @@ func printSpan(sp obs.SpanSnapshot, depth int) {
 	for _, c := range sp.Children {
 		printSpan(c, depth+1)
 	}
+}
+
+// clusterCmd implements `swcli cluster status`: one node's view of the
+// cluster — membership with live readiness probes, per-peer breaker state and
+// hedge thresholds, and the placement summary of every served data set.
+func clusterCmd(args []string) error {
+	if len(args) == 0 || args[0] != "status" {
+		return fmt.Errorf("cluster: unknown subcommand (want: cluster status -addr URL)")
+	}
+	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8385", "swd base URL")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	fs.Parse(args[1:])
+
+	cl := server.NewClient(*addr, nil)
+	st, err := cl.ClusterStatus(context.Background())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("shard %d of %d  replication=%d write-quorum=%d vnodes=%d\n",
+		st.ShardID, st.Shards, st.Replication, st.WriteQuorum, st.VirtualNodes)
+	for _, p := range st.Peers {
+		mark := " "
+		if p.Self {
+			mark = "*"
+		}
+		state := "down"
+		if p.Ready {
+			state = "ready"
+		}
+		fmt.Printf("%s shard %-3d %-28s %-6s breaker=%-9s", mark, p.Shard, p.Addr, state, p.Breaker)
+		if p.LatencyP95NS > 0 {
+			fmt.Printf("  p95=%.2fms hedge-after=%.2fms",
+				float64(p.LatencyP95NS)/1e6, float64(p.HedgeDelayNS)/1e6)
+		}
+		if p.Error != "" {
+			fmt.Printf("  (%s)", p.Error)
+		}
+		fmt.Println()
+	}
+	for _, pl := range st.Placement {
+		fmt.Printf("data set %s: %d partitions, primaries per shard %v\n",
+			pl.Dataset, pl.Partitions, pl.PrimaryCounts)
+	}
+	return nil
 }
 
 // slowlog fetches and renders a running swd's slow-query log.

@@ -6,7 +6,9 @@
 //
 // Endpoints (see README.md "Running the server" for a curl walkthrough):
 //
-//	GET    /healthz                                   liveness (fails while draining)
+//	GET    /healthz                                   liveness (200 while the process runs, boot and drain included)
+//	GET    /readyz                                    readiness (503 during WAL boot replay and drain)
+//	GET    /clusterz                                  cluster status: peers, breakers, placement (cluster mode)
 //	GET    /metricsz                                  metrics snapshot (JSON)
 //	GET    /metrics                                   metrics in Prometheus text format
 //	GET    /debug/slowlog                             slow-query log with span trees
@@ -24,8 +26,18 @@
 //	swd -dir /var/lib/swd -addr :8385
 //	swd -mem -addr 127.0.0.1:8385 -cache 128MiB... (flags below)
 //
-// SIGTERM or SIGINT begins graceful drain: the health check starts failing,
-// the listener closes, in-flight requests run to completion (bounded by
+// Cluster mode (see README.md "Running a cluster"): give every node the
+// same -peers list and its own -shard-id, and each node both owns its
+// placement share of partitions and coordinates any request it receives —
+// scattering queries across the shards, replicating ingest -replication
+// ways, hedging slow shards and answering degraded (with explicit coverage)
+// when shards are down:
+//
+//	swd -mem -addr 127.0.0.1:8401 -peers http://127.0.0.1:8401,http://127.0.0.1:8402 -shard-id 0 -replication 2
+//	swd -mem -addr 127.0.0.1:8402 -peers http://127.0.0.1:8401,http://127.0.0.1:8402 -shard-id 1 -replication 2
+//
+// SIGTERM or SIGINT begins graceful drain: readiness starts failing, the
+// listener closes, in-flight requests run to completion (bounded by
 // -drain-timeout), and the process exits 0.
 package main
 
@@ -39,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +86,15 @@ func main() {
 		walSync      = flag.String("wal-sync", "always", "journal fsync policy: always | interval | off")
 		walInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "journal fsync period under -wal-sync=interval")
 		walSegment   = flag.Int64("wal-segment", 64<<20, "journal segment roll threshold in bytes")
+
+		peers        = flag.String("peers", "", "cluster mode: comma-separated peer base URLs, self included (index = shard id)")
+		shardID      = flag.Int("shard-id", 0, "this node's index into -peers")
+		replication  = flag.Int("replication", 1, "replicas per partition (ingest fan-out, query failover width)")
+		writeQuorum  = flag.Int("write-quorum", 0, "replica acks required before an ingest is acknowledged (0 = majority)")
+		vnodes       = flag.Int("vnodes", 64, "virtual nodes per shard on the placement ring")
+		hedgeOff     = flag.Bool("no-hedge", false, "disable hedged (duplicate) requests to replicas")
+		hedgeInitial = flag.Duration("hedge-initial", 50*time.Millisecond, "hedge delay before a peer has latency history")
+		breakerOpen  = flag.Duration("breaker-open", 2*time.Second, "how long an open per-peer circuit breaker rejects before probing")
 	)
 	flag.Parse()
 
@@ -81,7 +103,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swd: %v\n", err)
 		os.Exit(1)
 	}
+	var cluster *server.ClusterConfig
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		cluster = &server.ClusterConfig{
+			Peers:         list,
+			ShardID:       *shardID,
+			Replication:   *replication,
+			WriteQuorum:   *writeQuorum,
+			VirtualNodes:  *vnodes,
+			HedgeDisabled: *hedgeOff,
+			HedgeInitial:  *hedgeInitial,
+			Breaker:       server.BreakerConfig{OpenFor: *breakerOpen},
+			Seed:          *seed,
+		}
+	}
 	if err := run(*addr, *dir, *mem, *seed, serverOpts{
+		cluster:    cluster,
 		cacheBytes: *cacheBytes, loadWorkers: *loadWorkers, mergeWorkers: *mergeWorkers,
 		cfg: server.Config{
 			DefaultTimeout:   *timeout,
@@ -113,6 +154,7 @@ type serverOpts struct {
 	events       int
 	wal          bool
 	walOpts      wal.Options
+	cluster      *server.ClusterConfig
 }
 
 // logf writes one timestamped operational log line to stderr.
@@ -168,27 +210,20 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 		MergeWorkers: opts.mergeWorkers,
 	})
 
-	// Write-ahead ingest journal (file-backed mode only): recover sealed but
-	// uncommitted batches from the previous incarnation and replay them into
-	// their partitions before accepting traffic, so every acknowledged batch
-	// survives even a kill -9.
+	// Write-ahead ingest journal (file-backed mode only): open it now (so
+	// the server journals new ingest from the first request), but defer the
+	// replay of recovered batches until after the listener is up — the node
+	// answers /healthz (liveness) and 503s serving routes while it boots,
+	// and flips /readyz once the replayed state is consistent.
 	var journal *wal.Log[int64]
-	var replayed []warehouse.ReplayedIngest[int64]
+	var recovered []wal.RecoveredEntry[int64]
 	if opts.wal && !mem {
 		opts.walOpts.Registry = reg
-		lg, recovered, err := wal.Open[int64](filepath.Join(dir, "wal"), storage.Int64Codec{}, opts.walOpts)
+		lg, rec, err := wal.Open[int64](filepath.Join(dir, "wal"), storage.Int64Codec{}, opts.walOpts)
 		if err != nil {
 			return fmt.Errorf("open journal: %w", err)
 		}
-		journal = lg
-		if len(recovered) > 0 {
-			rep, err := wh.ReplayJournal(lg, recovered)
-			if err != nil {
-				return fmt.Errorf("replay journal: %w", err)
-			}
-			logf("journal replay: %d batches rebuilt, %d orphaned", len(rep.Replayed), rep.Orphaned)
-			replayed = rep.Replayed
-		}
+		journal, recovered = lg, rec
 		defer func() {
 			if err := journal.Close(); err != nil {
 				logf("journal close: %v", err)
@@ -199,7 +234,14 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 	opts.cfg.Registry = reg
 	opts.cfg.Journal = journal
 	srv := server.New(wh, opts.cfg)
-	srv.SeedIdempotency(replayed)
+	if opts.cluster != nil {
+		if err := srv.EnableCluster(*opts.cluster); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		logf("cluster mode: shard %d of %d, replication %d",
+			opts.cluster.ShardID, len(opts.cluster.Peers), opts.cluster.Replication)
+	}
+	srv.SetReady(false)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -212,7 +254,7 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful drain: SIGTERM/SIGINT → health fails, listener closes,
+	// Graceful drain: SIGTERM/SIGINT → readiness fails, listener closes,
 	// in-flight requests complete (bounded by drainTimeout). A second
 	// signal aborts immediately.
 	sigCh := make(chan os.Signal, 2)
@@ -220,6 +262,19 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logf("listening on http://%s (datasets=%d)", ln.Addr(), len(wh.Datasets()))
+
+	// Boot: replay recovered journal batches into their partitions so every
+	// acknowledged batch survives even a kill -9, then open readiness.
+	if len(recovered) > 0 {
+		rep, err := wh.ReplayJournal(journal, recovered)
+		if err != nil {
+			return fmt.Errorf("replay journal: %w", err)
+		}
+		logf("journal replay: %d batches rebuilt, %d orphaned", len(rep.Replayed), rep.Orphaned)
+		srv.SeedIdempotency(rep.Replayed)
+	}
+	srv.SetReady(true)
+	logf("ready")
 
 	select {
 	case sig := <-sigCh:

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterLadder runs a miniature ladder: a single-shard baseline and a
+// 3-shard replicated rung including the kill drill. Any query error — on the
+// healthy rung or through the survivors after the kill — fails the test.
+func TestClusterLadder(t *testing.T) {
+	r, err := Cluster(ClusterConfig{
+		Shards: []int{1, 3}, Clients: 4, Dur: 400 * time.Millisecond, Parts: 12, Per: 512,
+	}, Options{NF: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (1 healthy, 3 healthy, 3 with one down)", len(r.Rows))
+	}
+	if got := r.Rows[2][2]; got != "1 down" {
+		t.Fatalf("final rung state %q, want the kill drill", got)
+	}
+	// The kill-drill rung answered through the survivors with zero degraded
+	// answers: replication 2 masks a single shard loss.
+	if r.Rows[2][len(r.Rows[2])-1] != "0" {
+		t.Fatalf("kill-drill rung reported degraded answers: %v", r.Rows[2])
+	}
+}

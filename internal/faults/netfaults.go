@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// NetFault is the injected outcome for one HTTP exchange: an optional dial
+// latency, then optionally a dropped connection (the request errors before
+// any response) or a truncated response (the body is cut mid-stream). The
+// zero NetFault lets the exchange through untouched.
+type NetFault struct {
+	// Delay is injected before the request is sent (dial/connect latency).
+	Delay time.Duration
+	// Drop fails the exchange with a connection error; the request never
+	// reaches the server.
+	Drop bool
+	// TruncateAfter cuts the response body after this many bytes (the reader
+	// then fails with io.ErrUnexpectedEOF). 0 = no truncation.
+	TruncateAfter int64
+}
+
+// NetSchedule decides deterministically what happens to the seq-th HTTP
+// exchange (1-based) against host+path. Implementations must be safe for
+// concurrent use.
+type NetSchedule interface {
+	DecideNet(seq int64, host, path string) NetFault
+}
+
+// DropErr fabricates the connection-drop error for an exchange.
+func DropErr(host, path string) error {
+	return fmt.Errorf("%w: connection to %s%s dropped", ErrInjected, host, path)
+}
+
+// NetRates is a probabilistic, seedable NetSchedule — the network-level
+// sibling of Rates. Every draw hashes the seed with the exchange's sequence
+// number and target, so the same seed yields the same dials dropped, the
+// same responses truncated and the same latencies injected, regardless of
+// goroutine interleaving.
+type NetRates struct {
+	// Seed drives every decision. Two equal seeds agree everywhere.
+	Seed uint64
+	// DialLatency is the injected pre-request latency; LatencyProb is the
+	// per-exchange probability of paying it (1.0 = every exchange).
+	DialLatency time.Duration
+	LatencyProb float64
+	// Drop is the per-exchange probability of a dropped connection.
+	Drop float64
+	// Truncate is the per-exchange probability of response truncation;
+	// TruncateBytes is where the body is cut (default 64).
+	Truncate      float64
+	TruncateBytes int64
+}
+
+// DecideNet implements NetSchedule.
+func (r NetRates) DecideNet(seq int64, host, path string) NetFault {
+	var f NetFault
+	base := mix(r.Seed ^ mix(uint64(seq)) ^ hashKey(host+path))
+	if r.LatencyProb > 0 && r.DialLatency > 0 && unit(mix(base^0x1a7e)) < r.LatencyProb {
+		f.Delay = r.DialLatency
+	}
+	if r.Drop > 0 && unit(mix(base^0xd809)) < r.Drop {
+		f.Drop = true
+		return f
+	}
+	if r.Truncate > 0 && unit(mix(base^0x7404)) < r.Truncate {
+		f.TruncateAfter = r.TruncateBytes
+		if f.TruncateAfter <= 0 {
+			f.TruncateAfter = 64
+		}
+	}
+	return f
+}
+
+// DropNth drops exactly the N-th exchange (1-based), on any target.
+type DropNth struct{ N int64 }
+
+// DecideNet implements NetSchedule.
+func (s DropNth) DecideNet(seq int64, host, path string) NetFault {
+	return NetFault{Drop: seq == s.N}
+}
+
+// DropHost drops every exchange against exactly Host (host:port).
+type DropHost struct{ Host string }
+
+// DecideNet implements NetSchedule.
+func (s DropHost) DecideNet(seq int64, host, path string) NetFault {
+	return NetFault{Drop: host == s.Host}
+}
+
+// NetStats counts what a Transport has done.
+type NetStats struct {
+	Requests  int64 // exchanges that entered the transport
+	Dropped   int64 // exchanges failed with an injected connection drop
+	Truncated int64 // responses cut mid-body
+	Delayed   int64 // exchanges that paid an injected dial latency
+}
+
+// Transport is a fault-injecting http.RoundTripper: it wraps an inner
+// transport and applies a NetSchedule to every exchange. Plug it into a
+// peer-facing http.Client (server.ClusterConfig.HTTPClient) to subject a
+// cluster's coordinator paths — breakers, hedging, failover, degraded
+// coverage — to deterministic network weather. Safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+	sched NetSchedule
+	sleep func(time.Duration)
+
+	seq       atomic.Int64
+	requests  atomic.Int64
+	dropped   atomic.Int64
+	truncated atomic.Int64
+	delayed   atomic.Int64
+}
+
+// NewTransport wraps inner (nil = http.DefaultTransport) with sched.
+func NewTransport(inner http.RoundTripper, sched NetSchedule) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, sched: sched, sleep: time.Sleep}
+}
+
+// SetSleep replaces the latency-injection sleeper (tests keep wall-clock
+// time out of the suite by passing a no-op).
+func (t *Transport) SetSleep(fn func(time.Duration)) {
+	if fn == nil {
+		fn = time.Sleep
+	}
+	t.sleep = fn
+}
+
+// Stats returns a snapshot of the transport's activity.
+func (t *Transport) Stats() NetStats {
+	return NetStats{
+		Requests:  t.requests.Load(),
+		Dropped:   t.dropped.Load(),
+		Truncated: t.truncated.Load(),
+		Delayed:   t.delayed.Load(),
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	seq := t.seq.Add(1)
+	t.requests.Add(1)
+	f := t.sched.DecideNet(seq, req.URL.Host, req.URL.Path)
+	if f.Delay > 0 {
+		t.delayed.Add(1)
+		t.sleep(f.Delay)
+	}
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	if f.Drop {
+		t.dropped.Add(1)
+		// Consume the body like a real failed send would, so retries with
+		// GetBody work.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, DropErr(req.URL.Host, req.URL.Path)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.TruncateAfter > 0 {
+		t.truncated.Add(1)
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: f.TruncateAfter}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// truncatedBody cuts a response body after remaining bytes, then fails the
+// read the way a torn connection would.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
+
+var (
+	_ NetSchedule       = NetRates{}
+	_ NetSchedule       = DropNth{}
+	_ NetSchedule       = DropHost{}
+	_ http.RoundTripper = (*Transport)(nil)
+)

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetRatesDeterministic(t *testing.T) {
+	a := NetRates{Seed: 7, Drop: 0.3, Truncate: 0.3, DialLatency: time.Millisecond, LatencyProb: 0.5}
+	b := NetRates{Seed: 7, Drop: 0.3, Truncate: 0.3, DialLatency: time.Millisecond, LatencyProb: 0.5}
+	drops := 0
+	for seq := int64(1); seq <= 1000; seq++ {
+		fa := a.DecideNet(seq, "h:1", "/p")
+		fb := b.DecideNet(seq, "h:1", "/p")
+		if fa != fb {
+			t.Fatalf("seq %d: same seed disagrees: %+v vs %+v", seq, fa, fb)
+		}
+		if fa.Drop {
+			drops++
+		}
+	}
+	if drops < 200 || drops > 400 {
+		t.Fatalf("drop rate 0.3 produced %d/1000 drops", drops)
+	}
+	other := NetRates{Seed: 8, Drop: 0.3}
+	diverged := false
+	for seq := int64(1); seq <= 100; seq++ {
+		if a.DecideNet(seq, "h:1", "/p").Drop != other.DecideNet(seq, "h:1", "/p").Drop {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged in 100 draws")
+	}
+}
+
+func TestTransportDrop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, DropNth{N: 2})
+	client := &http.Client{Transport: tr}
+
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("exchange 1 should pass: %v", err)
+	}
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("exchange 2 should drop with ErrInjected, got %v", err)
+	}
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("exchange 3 should pass: %v", err)
+	}
+	st := tr.Stats()
+	if st.Requests != 3 || st.Dropped != 1 {
+		t.Fatalf("stats %+v, want 3 requests 1 dropped", st)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	body := strings.Repeat("x", 1024)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+	sched := NetRates{Seed: 1, Truncate: 1.0, TruncateBytes: 100}
+	tr := NewTransport(nil, sched)
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err %v, want unexpected EOF", err)
+	}
+	if len(data) != 100 {
+		t.Fatalf("read %d bytes before cut, want 100", len(data))
+	}
+	if tr.Stats().Truncated != 1 {
+		t.Fatalf("stats %+v, want 1 truncated", tr.Stats())
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	tr := NewTransport(nil, NetRates{Seed: 3, DialLatency: time.Hour, LatencyProb: 1.0})
+	var slept time.Duration
+	tr.SetSleep(func(d time.Duration) { slept += d })
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if slept != time.Hour {
+		t.Fatalf("injected latency %v, want 1h", slept)
+	}
+	if tr.Stats().Delayed != 1 {
+		t.Fatalf("stats %+v, want 1 delayed", tr.Stats())
+	}
+}
+
+func TestDropHost(t *testing.T) {
+	f := DropHost{Host: "a:1"}
+	if !f.DecideNet(1, "a:1", "/x").Drop {
+		t.Fatal("matching host must drop")
+	}
+	if f.DecideNet(1, "b:1", "/x").Drop {
+		t.Fatal("other host must pass")
+	}
+}

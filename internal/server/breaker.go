@@ -1,0 +1,182 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: traffic flows; outcomes are recorded in the rolling
+	// window.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer is considered down; every Allow fails instantly
+	// (no deadline budget is spent) until OpenFor elapses.
+	BreakerOpen
+	// BreakerHalfOpen: OpenFor elapsed; exactly one probe request is let
+	// through. Success closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes a per-peer circuit breaker. The zero value selects the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Window is the rolling outcome window length. Default 16.
+	Window int
+	// MinSamples is the minimum recorded outcomes before the breaker may
+	// trip — a single failed request against a cold peer must not open it.
+	// Default 4.
+	MinSamples int
+	// FailureRatio trips the breaker when the windowed failure fraction
+	// reaches it. Default 0.5.
+	FailureRatio float64
+	// OpenFor is how long an open breaker rejects before letting a
+	// half-open probe through. Default 2s.
+	OpenFor time.Duration
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is a per-peer circuit breaker over a rolling outcome window.
+// Closed → (failure ratio over window) → open → (OpenFor elapses) →
+// half-open single probe → closed or open again. Safe for concurrent use.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	outcomes []bool // ring of success flags
+	idx      int
+	filled   int
+	fails    int
+	state    BreakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.normalized()
+	return &breaker{
+		cfg:      cfg,
+		now:      time.Now,
+		outcomes: make([]bool, cfg.Window),
+	}
+}
+
+// Allow reports whether a request to the peer may proceed. In the open state
+// it returns false instantly — the caller skips the peer without spending
+// any of its deadline budget. After OpenFor it admits exactly one half-open
+// probe; further calls fail until that probe's Record arrives.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record feeds one request outcome back. Cancellations that are not the
+// peer's fault (a lost hedge race) must not be recorded.
+func (b *breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.reset()
+			return
+		}
+		b.trip()
+		return
+	case BreakerOpen:
+		// A straggler from before the trip; the window restarts on probe.
+		return
+	}
+	if b.filled == len(b.outcomes) {
+		if !b.outcomes[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.outcomes[b.idx] = ok
+	if !ok {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.outcomes)
+	if b.filled >= b.cfg.MinSamples &&
+		float64(b.fails) >= b.cfg.FailureRatio*float64(b.filled) {
+		b.trip()
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+}
+
+// reset closes the breaker and clears the window; callers hold b.mu.
+func (b *breaker) reset() {
+	b.state = BreakerClosed
+	b.idx, b.filled, b.fails = 0, 0, 0
+	b.probing = false
+}
+
+// State returns the current position (open flips to half-open lazily in
+// Allow, so a long-idle open breaker still reports open here).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable clock for breaker tests.
+type testClock struct{ now time.Time }
+
+func (c *testClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*breaker, *testClock) {
+	b := newBreaker(cfg)
+	clk := &testClock{now: time.Unix(0, 0)}
+	b.now = func() time.Time { return clk.now }
+	return b, clk
+}
+
+func TestBreakerTripsOnFailureRatio(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5, OpenFor: time.Second})
+	// Below MinSamples nothing trips, even at 100% failure.
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v before MinSamples, want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 4/4 failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject instantly")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second})
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("must reject before OpenFor elapses")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("must admit one probe after OpenFor")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half_open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be in flight")
+	}
+	// Probe succeeds: breaker closes with a fresh window.
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit")
+	}
+	// One failure on the fresh window must not trip (MinSamples again).
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after one failure on fresh window, want closed", b.State())
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject")
+	}
+	// The re-open restarts the OpenFor clock.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe after OpenFor must be admitted")
+	}
+}
+
+func TestBreakerRollingWindow(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 4, FailureRatio: 0.5, OpenFor: time.Second})
+	// 2 fails then 4 successes: the fails age out of the window.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(true)
+	// Window now [F F T T] = 50% → would trip at exactly the ratio; this
+	// ordering reaches MinSamples at the trip point.
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v at exactly the failure ratio, want open", b.State())
+	}
+}

@@ -170,6 +170,12 @@ func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error 
 // JSON response into out (skipped when out is nil). Non-2xx responses decode
 // the error envelope into an APIError.
 func (c *Client) do(req *http.Request, out any) error {
+	return c.doCapture(req, out, nil)
+}
+
+// doCapture is do with a response hook: onResp (when non-nil) observes the
+// final successful response's headers before the body is decoded.
+func (c *Client) doCapture(req *http.Request, out any, onResp func(*http.Response)) error {
 	// Propagate the caller's trace: a request issued under a traced context
 	// (a server fanning out to peers, an instrumented benchmark) carries its
 	// trace ID so the receiving server joins the same trace.
@@ -195,7 +201,7 @@ func (c *Client) do(req *http.Request, out any) error {
 			}
 			c.retries.Add(1)
 		}
-		err := c.doOnce(req, out)
+		err := c.doOnce(req, out, onResp)
 		if err == nil {
 			return nil
 		}
@@ -208,12 +214,15 @@ func (c *Client) do(req *http.Request, out any) error {
 }
 
 // doOnce is a single request/response exchange.
-func (c *Client) doOnce(req *http.Request, out any) error {
+func (c *Client) doOnce(req *http.Request, out any, onResp func(*http.Response)) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && onResp != nil {
+		onResp(resp)
+	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		ae := &APIError{StatusCode: resp.StatusCode}
 		var body errorBody
@@ -365,6 +374,10 @@ type QueryOpts struct {
 	// Explain asks the server for the request's span tree (?explain=1),
 	// populating the response's TraceID and Trace fields.
 	Explain bool
+	// Local pins the query to the receiving shard's own warehouse (?local=1)
+	// instead of letting a cluster node coordinate a scatter — this is how
+	// the coordinator itself addresses peers without recursion.
+	Local bool
 }
 
 func (o QueryOpts) values() url.Values {
@@ -387,6 +400,9 @@ func (o QueryOpts) values() url.Values {
 	if o.Explain {
 		q.Set("explain", "1")
 	}
+	if o.Local {
+		q.Set("local", "1")
+	}
 	return q
 }
 
@@ -405,6 +421,72 @@ func (c *Client) Estimate(ctx context.Context, ds, q string, opts QueryOpts) (Es
 	vals.Set("q", q)
 	err := c.get(ctx, "/v1/datasets/"+url.PathEscape(ds)+"/estimate", vals, &out)
 	return out, err
+}
+
+// ReadyCheck probes GET /readyz; nil means the server is ready to serve.
+func (c *Client) ReadyCheck(ctx context.Context) error {
+	return c.get(ctx, "/readyz", nil, nil)
+}
+
+// ClusterStatus fetches GET /clusterz: the node's view of its cluster —
+// per-peer readiness, breaker states, hedge thresholds and placement.
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatusResponse, error) {
+	var out ClusterStatusResponse
+	err := c.get(ctx, "/clusterz", nil, &out)
+	return out, err
+}
+
+// ingestForward is the coordinator-to-replica ingest: the marker header
+// makes the receiving shard serve the write locally instead of coordinating
+// again. The bool reports an idempotent replay.
+func (c *Client) ingestForward(ctx context.Context, ds, part string, expected int64, key, body string) (IngestResponse, bool, error) {
+	var out IngestResponse
+	u := c.base + "/v1/datasets/" + url.PathEscape(ds) + "/partitions/" + url.PathEscape(part)
+	if expected > 0 {
+		u += "?expected=" + strconv.FormatInt(expected, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, strings.NewReader(body))
+	if err != nil {
+		return out, false, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set(forwardedHeader, "1")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	var replayed bool
+	err = c.doCapture(req, &out, func(resp *http.Response) {
+		replayed = resp.Header.Get("Idempotency-Replayed") == "true"
+	})
+	return out, replayed, err
+}
+
+// createDatasetForward pushes a data set definition to one replica.
+func (c *Client) createDatasetForward(ctx context.Context, req CreateDatasetRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/datasets", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(forwardedHeader, "1")
+	return c.do(hreq, nil)
+}
+
+// rollOutForward removes a partition from one replica without triggering
+// that replica's own coordination.
+func (c *Client) rollOutForward(ctx context.Context, ds, part string) error {
+	u := c.base + "/v1/datasets/" + url.PathEscape(ds) + "/partitions/" + url.PathEscape(part)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(forwardedHeader, "1")
+	return c.do(req, nil)
 }
 
 // Metrics fetches the server's metrics snapshot as raw JSON.

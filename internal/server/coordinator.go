@@ -1,0 +1,933 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samplewh/internal/core"
+	"samplewh/internal/histogram"
+	"samplewh/internal/obs"
+	"samplewh/internal/randx"
+	"samplewh/internal/warehouse"
+)
+
+// forwardedHeader marks cluster-internal requests: a replica receiving a
+// forwarded ingest (or roll-out) serves it locally instead of coordinating
+// again, which is what prevents forwarding loops. Scatter queries use
+// ?local=1 for the same purpose.
+const forwardedHeader = "X-Swd-Forwarded"
+
+// ShardStatus is one shard's outcome within a coordinated answer — the
+// per-shard error detail of a degraded response.
+type ShardStatus struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// State is "ok", "error" or "breaker_open".
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Partitions is how many of the answer's partitions this shard served.
+	Partitions int `json:"partitions,omitempty"`
+	// Hedged marks that the shard's contribution came from (or it received)
+	// a hedged duplicate request.
+	Hedged bool `json:"hedged,omitempty"`
+}
+
+// shardAgg accumulates per-shard statuses across the scatter's groups.
+type shardAgg struct {
+	mu sync.Mutex
+	m  map[int]*ShardStatus
+}
+
+func newShardAgg() *shardAgg { return &shardAgg{m: make(map[int]*ShardStatus)} }
+
+// note records one attempt outcome for a shard. "ok" wins over errors (a
+// shard that served anything is reported ok, with its errors elided —
+// per-partition failures are already named in the coverage).
+func (a *shardAgg) note(p *peer, state string, err error, parts int, hedged bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.m[p.id]
+	if !ok {
+		st = &ShardStatus{Shard: p.id, Addr: p.addr, State: state}
+		a.m[p.id] = st
+	}
+	if state == "ok" {
+		st.State = "ok"
+		st.Error = ""
+	} else if st.State != "ok" {
+		st.State = state
+		if err != nil && st.Error == "" {
+			st.Error = err.Error()
+		}
+	}
+	st.Partitions += parts
+	st.Hedged = st.Hedged || hedged
+}
+
+func (a *shardAgg) list() []ShardStatus {
+	a.mu.Lock()
+	out := make([]ShardStatus, 0, len(a.m))
+	for _, st := range a.m {
+		out = append(out, *st)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// localParam reports whether ?local=1 pins the request to this shard's own
+// warehouse (cluster-internal scatter requests set it).
+func localParam(r *http.Request) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get("local"))
+	return err == nil && v
+}
+
+// coordinated reports whether this request should run the scatter-gather
+// coordinator rather than the local warehouse path.
+func (s *Server) coordinated(r *http.Request) bool {
+	return s.cluster != nil && !localParam(r) && r.Header.Get(forwardedHeader) == ""
+}
+
+// carve derives a child deadline spending the given fraction of the
+// remaining request budget (everything, when the request has no deadline).
+func carve(ctx context.Context, fraction float64) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	rem := time.Until(dl)
+	return context.WithTimeout(ctx, time.Duration(float64(rem)*fraction))
+}
+
+// mergeReserve is how much of the remaining deadline the coordinator holds
+// back from the scatter for the final merge: 10%, clamped to [10ms, 250ms].
+func (c *clusterState) mergeReserve(ctx context.Context) time.Duration {
+	if c.cfg.MergeReserve > 0 {
+		return c.cfg.MergeReserve
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	res := time.Until(dl) / 10
+	if res < 10*time.Millisecond {
+		res = 10 * time.Millisecond
+	}
+	if res > 250*time.Millisecond {
+		res = 250 * time.Millisecond
+	}
+	return res
+}
+
+// badGateway builds a 502 handler error — the cluster coordinator's "the
+// shards I need are unreachable" failure.
+func badGateway(format string, args ...any) error {
+	return &httpError{code: http.StatusBadGateway, msg: fmt.Sprintf(format, args...)}
+}
+
+// sampleFromWire rebuilds a core.Sample from a shard's SampleResponse. The
+// coordinator supplies the data set's core config (identical cluster-wide —
+// dataset creation broadcasts it), which restores the merge-relevant fields
+// the wire format does not carry.
+func sampleFromWire(resp SampleResponse, cc core.Config) (*core.Sample[int64], error) {
+	if cc.SizeModel == (histogram.SizeModel{}) {
+		cc.SizeModel = histogram.DefaultSizeModel
+	}
+	if cc.ExceedProb == 0 {
+		cc.ExceedProb = core.DefaultExceedProb
+	}
+	var kind core.Kind
+	switch resp.Sample.Kind {
+	case core.Exhaustive.String():
+		kind = core.Exhaustive
+	case core.BernoulliKind.String():
+		kind = core.BernoulliKind
+	case core.ReservoirKind.String():
+		kind = core.ReservoirKind
+	default:
+		return nil, fmt.Errorf("shard sample with unknown kind %q", resp.Sample.Kind)
+	}
+	h := histogram.New[int64](cc.SizeModel)
+	for _, vc := range resp.Values {
+		if vc.Count <= 0 {
+			return nil, fmt.Errorf("shard sample with non-positive count %d for value %d", vc.Count, vc.Value)
+		}
+		h.Insert(vc.Value, vc.Count)
+	}
+	smp := &core.Sample[int64]{
+		Kind:       kind,
+		Hist:       h,
+		ParentSize: resp.Sample.ParentSize,
+		Q:          resp.Sample.Q,
+		Config:     cc,
+	}
+	if err := smp.Validate(); err != nil {
+		return nil, err
+	}
+	return smp, nil
+}
+
+// peerHealthy classifies an attempt failure for the circuit breaker: clean
+// 4xx responses prove the peer is up and answering (the request was just
+// unserveable there), so only transport errors, timeouts and 5xx/429 count
+// against it.
+func peerHealthy(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode < http.StatusInternalServerError && ae.StatusCode != http.StatusTooManyRequests
+	}
+	return false
+}
+
+// groupResult is one scatter group's gathered outcome.
+type groupResult struct {
+	smp     *core.Sample[int64]
+	merged  []string
+	skipped []warehouse.SkippedPartition
+}
+
+// attemptOut is one replica attempt's outcome inside a group fetch.
+type attemptOut struct {
+	p        *peer
+	res      groupResult
+	err      error
+	hedged   bool
+	canceled bool // lost a hedge race; not the peer's fault
+	elapsed  time.Duration
+}
+
+// attemptGroup asks one replica for the merged sample of the group's
+// partitions: the self peer merges straight from the local warehouse, remote
+// peers serve GET sample?local=1 (which also forwards the trace ID, so both
+// legs of a hedged pair join the same trace).
+func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []string, hedged bool) attemptOut {
+	out := attemptOut{p: p, hedged: hedged}
+	start := time.Now()
+	sp := obs.SpanFromContext(ctx).Start("shard_fetch")
+	sp.SetLabel("shard", strconv.Itoa(p.id))
+	if hedged {
+		sp.SetLabel("hedged", "true")
+	}
+	defer func() {
+		sp.SetValue("partitions", int64(len(parts)))
+		sp.SetError(out.err)
+		sp.End()
+	}()
+	if p.self {
+		smp, cov, err := s.wh.MergedSamplePartialContext(ctx, ds, parts...)
+		out.elapsed = time.Since(start)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.res = groupResult{smp: smp, merged: cov.Merged, skipped: cov.Skipped}
+		return out
+	}
+	resp, err := p.query.Sample(ctx, ds, QueryOpts{Parts: parts, Local: true})
+	out.elapsed = time.Since(start)
+	if err != nil {
+		out.err = err
+		out.canceled = ctx.Err() == context.Canceled
+		return out
+	}
+	cfg, err := s.wh.Config(ds)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	smp, err := sampleFromWire(resp, cfg.Core)
+	if err != nil {
+		out.err = fmt.Errorf("shard %d: %w", p.id, err)
+		return out
+	}
+	res := groupResult{smp: smp, merged: resp.Coverage.Merged}
+	for _, sk := range resp.Coverage.Skipped {
+		res.skipped = append(res.skipped, warehouse.SkippedPartition{ID: sk.ID, Reason: sk.Reason})
+	}
+	out.res = res
+	return out
+}
+
+// fetchGroup drives one scatter group through its replica chain: the first
+// live (breaker-closed) replica is asked; after the peer's hedge delay a
+// duplicate fires to the next replica (first answer wins, the loser's
+// context is canceled); a failed attempt fails over to the next replica
+// immediately. Peers behind an open breaker are skipped without spending
+// any deadline budget.
+func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chain []*peer, agg *shardAgg) (groupResult, error) {
+	c := s.cluster
+	results := make(chan attemptOut, len(chain))
+	gctx, gcancel := context.WithCancel(ctx)
+	defer gcancel()
+
+	next := 0
+	launch := func(hedged bool) *peer {
+		for next < len(chain) {
+			p := chain[next]
+			next++
+			if !p.self && !p.br.Allow() {
+				c.o.breakerSkips.Inc()
+				agg.note(p, "breaker_open", errors.New("circuit breaker open"), 0, false)
+				continue
+			}
+			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged) }()
+			return p
+		}
+		return nil
+	}
+
+	first := launch(false)
+	if first == nil {
+		return groupResult{}, errors.New("all replicas unavailable (breaker open)")
+	}
+	var hedgeTimer <-chan time.Time
+	if !c.cfg.HedgeDisabled && next < len(chain) {
+		t := time.NewTimer(first.hedgeDelay(c.cfg.HedgeQuantile, c.cfg.HedgeInitial, c.cfg.HedgeMin, c.cfg.HedgeMax))
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+
+	inflight := 1
+	var firstErr error
+	for {
+		select {
+		case out := <-results:
+			inflight--
+			if !out.p.self && !out.canceled {
+				ok := out.err == nil || peerHealthy(out.err)
+				out.p.br.Record(ok)
+				if out.err == nil {
+					out.p.lat.observe(out.elapsed.Nanoseconds())
+					c.o.peerLatency.Observe(out.elapsed.Nanoseconds())
+				}
+			}
+			if out.err == nil {
+				gcancel() // the hedge race is decided; stop the loser
+				if out.hedged {
+					c.o.hedgeWins.Inc()
+				}
+				agg.note(out.p, "ok", nil, len(out.res.merged), out.hedged)
+				return out.res, nil
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): %w", out.p.id, out.p.addr, out.err)
+			}
+			if !out.canceled {
+				agg.note(out.p, "error", out.err, 0, out.hedged)
+			}
+			if ctx.Err() != nil {
+				return groupResult{}, firstErr
+			}
+			if p := launch(false); p != nil {
+				c.o.failovers.Inc()
+				inflight++
+			} else if inflight == 0 {
+				return groupResult{}, firstErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if p := launch(true); p != nil {
+				c.o.hedged.Inc()
+				inflight++
+			}
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = fmt.Errorf("scatter deadline: %w", ctx.Err())
+			}
+			return groupResult{}, firstErr
+		}
+	}
+}
+
+// listPartitions gathers the cluster-wide partition list for a data set by
+// asking every reachable peer for its local view and unioning the answers.
+// Every partition is listed by each of its replicas, so the union stays
+// complete as long as fewer than `replication` peers are unreachable; the
+// returned count of unreachable peers lets the caller tell when the list
+// itself may have blind spots (and the answer must be flagged degraded).
+func (s *Server) listPartitions(ctx context.Context, ds string, agg *shardAgg) ([]string, int, error) {
+	c := s.cluster
+	lctx, cancel := carve(ctx, 0.3)
+	defer cancel()
+	set := make(map[string]bool)
+	var mu sync.Mutex
+	var failed atomic.Int32
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		if p.self {
+			parts, err := s.wh.Partitions(ds)
+			if err != nil {
+				return nil, 0, notFound("unknown data set %q", ds)
+			}
+			mu.Lock()
+			for _, id := range parts {
+				set[id] = true
+			}
+			mu.Unlock()
+			continue
+		}
+		if !p.br.Allow() {
+			c.o.breakerSkips.Inc()
+			failed.Add(1)
+			agg.note(p, "breaker_open", errors.New("circuit breaker open"), 0, false)
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			start := time.Now()
+			info, err := p.query.Dataset(lctx, ds)
+			if err != nil {
+				p.br.Record(peerHealthy(err))
+				// An unknown data set on one peer only means it missed the
+				// broadcast (it holds no partitions either); not a failure.
+				var ae *APIError
+				if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+					return
+				}
+				failed.Add(1)
+				agg.note(p, "error", fmt.Errorf("list partitions: %w", err), 0, false)
+				return
+			}
+			p.br.Record(true)
+			p.lat.observe(time.Since(start).Nanoseconds())
+			mu.Lock()
+			for _, id := range info.Partitions {
+				set[id] = true
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, int(failed.Load()), nil
+}
+
+// scatterMerged is the coordinator's query path: resolve the requested
+// partitions, group them by replica chain, fetch every group (hedged, with
+// failover), and merge the gathered shard samples into one uniform sample
+// of the covered union — the top of the paper's merge tree, run across the
+// network. The returned coverage names every partition a dead or slow shard
+// cost us; the bool is the response's degraded flag.
+func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial bool) (*core.Sample[int64], Coverage, []ShardStatus, bool, error) {
+	c := s.cluster
+	ctx := r.Context()
+	if _, err := s.wh.Config(ds); err != nil {
+		return nil, Coverage{}, nil, false, notFound("unknown data set %q", ds)
+	}
+	c.o.scatter.Inc()
+	sp := obs.SpanFromContext(ctx).Start("scatter")
+	defer sp.End()
+	agg := newShardAgg()
+
+	var err error
+	// blind is set when discovery may have missed partitions: once as many
+	// peers are unreachable as there are replicas per partition, some
+	// partition may have had no live replica to list it — the answer must be
+	// flagged degraded even though the coverage over the *known* partitions
+	// looks complete.
+	blind := false
+	requested := ids
+	if len(requested) == 0 {
+		var failed int
+		requested, failed, err = s.listPartitions(ctx, ds, agg)
+		if err != nil {
+			return nil, Coverage{}, nil, false, err
+		}
+		blind = failed >= c.cfg.Replication
+	} else {
+		seen := make(map[string]bool, len(requested))
+		for _, id := range requested {
+			if seen[id] {
+				return nil, Coverage{}, nil, false, badRequest("duplicate partition %q in parts", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(requested) == 0 {
+		return nil, Coverage{}, agg.list(), len(agg.list()) > 0, notFound("data set %q has no partitions", ds)
+	}
+
+	// Group partitions by their (identical) replica chains so one request
+	// per chain covers them all, and a hedged duplicate of that request has
+	// a well-defined alternate target holding the same partitions.
+	type group struct {
+		key   string
+		parts []string
+		chain []*peer
+	}
+	byChain := make(map[string]*group)
+	for _, id := range requested {
+		chain := c.replicas(ds, id)
+		key := ""
+		for _, p := range chain {
+			key += strconv.Itoa(p.id) + ","
+		}
+		g, ok := byChain[key]
+		if !ok {
+			g = &group{key: key, chain: chain}
+			byChain[key] = g
+		}
+		g.parts = append(g.parts, id)
+	}
+	groups := make([]*group, 0, len(byChain))
+	for _, g := range byChain {
+		sort.Strings(g.parts)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	sp.SetValue("groups", int64(len(groups)))
+	sp.SetValue("partitions", int64(len(requested)))
+
+	// Scatter: every group fetch runs concurrently under the request
+	// deadline minus the merge reserve.
+	fctx := ctx
+	if res := c.mergeReserve(ctx); res > 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithDeadline(ctx, dl.Add(-res))
+			defer cancel()
+		}
+	}
+	type fetchOut struct {
+		g   *group
+		res groupResult
+		err error
+	}
+	outs := make([]fetchOut, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		c.o.groups.Inc()
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			res, err := s.fetchGroup(fctx, ds, g.parts, g.chain, agg)
+			outs[i] = fetchOut{g: g, res: res, err: err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	// Gather: assemble coverage and fold the group samples through the
+	// merge operators (deterministic order and seed).
+	cov := warehouse.MergeCoverage{Requested: requested}
+	var samples []*core.Sample[int64]
+	for _, out := range outs {
+		if out.err != nil {
+			for _, id := range out.g.parts {
+				cov.Skipped = append(cov.Skipped, warehouse.SkippedPartition{
+					ID: id, Reason: fmt.Sprintf("shard unreachable: %v", out.err),
+				})
+			}
+			continue
+		}
+		cov.Merged = append(cov.Merged, out.res.merged...)
+		cov.Skipped = append(cov.Skipped, out.res.skipped...)
+		if out.res.smp != nil {
+			samples = append(samples, out.res.smp)
+		}
+	}
+	sort.Strings(cov.Merged)
+	sort.Slice(cov.Skipped, func(i, j int) bool { return cov.Skipped[i].ID < cov.Skipped[j].ID })
+
+	shards := agg.list()
+	degraded := cov.Partial() || blind
+	if degraded {
+		c.o.degraded.Inc()
+	}
+	if !partial && degraded {
+		if len(cov.Skipped) > 0 {
+			return nil, Coverage{}, shards, degraded,
+				badGateway("strict merge: %d of %d requested partitions unavailable (first: %s: %s)",
+					len(cov.Skipped), len(requested), cov.Skipped[0].ID, cov.Skipped[0].Reason)
+		}
+		return nil, Coverage{}, shards, degraded,
+			badGateway("strict merge: partition discovery incomplete (unreachable peers >= replication factor %d)",
+				c.cfg.Replication)
+	}
+	if len(samples) == 0 {
+		return nil, Coverage{}, shards, degraded,
+			badGateway("no shard reachable for any requested partition of %q", ds)
+	}
+	rng := randx.New(c.cfg.Seed ^ hashString(ds))
+	merged := samples[0]
+	for _, smp := range samples[1:] {
+		merged, err = core.Merge(merged, smp, rng)
+		if err != nil {
+			return nil, Coverage{}, shards, degraded, fmt.Errorf("coordinator merge: %w", err)
+		}
+	}
+	return merged, coverage(cov), shards, degraded, nil
+}
+
+// --- replicated ingest ---------------------------------------------------
+
+// ReplicaStatus is one replica's outcome within a coordinated ingest.
+type ReplicaStatus struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// State is "ok", "replayed" (idempotent duplicate), "error" or
+	// "breaker_open".
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// scanInt64Body parses the text ingest body (one value per line) into a
+// slice, bounded by the server's body cap.
+func (s *Server) scanInt64Body(w http.ResponseWriter, r *http.Request) ([]int64, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var vals []int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, badRequest("value %d: %v", len(vals)+1, err)
+		}
+		vals = append(vals, v)
+		if len(vals)%8192 == 0 {
+			if err := r.Context().Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("ingest body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return nil, badRequest("read: %v", err)
+	}
+	return vals, nil
+}
+
+// valuesBody renders values back to the text wire format for forwarding.
+func valuesBody(vals []int64) string {
+	var b strings.Builder
+	b.Grow(len(vals) * 8)
+	for _, v := range vals {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// handleIngestCluster is the coordinator's ingest path: buffer the batch,
+// fan it out to the partition's replica set (journaled locally on each
+// replica), and ack once the write quorum is met. A client retry with the
+// same Idempotency-Key converges: replicas that already hold the batch
+// answer from their registries. Without a client key the coordinator stamps
+// one, so its own replica-level retries stay exactly-once.
+func (s *Server) handleIngestCluster(w http.ResponseWriter, r *http.Request) error {
+	c := s.cluster
+	ds, part := r.PathValue("ds"), r.PathValue("part")
+	expected := int64(0)
+	if raw := r.URL.Query().Get("expected"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return badRequest("bad expected %q", raw)
+		}
+		expected = v
+	}
+	if _, err := s.wh.Config(ds); err != nil {
+		return notFound("unknown data set %q", ds)
+	}
+	key := r.Header.Get("Idempotency-Key")
+	clientKeyed := key != ""
+	if clientKeyed {
+		if resp, ok := s.idem.get(idemScope(ds, part, key)); ok {
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, resp)
+			return nil
+		}
+	} else {
+		key = fmt.Sprintf("swd-auto-%016x", rand.Uint64())
+	}
+
+	vals, err := s.scanInt64Body(w, r)
+	if err != nil {
+		return err
+	}
+	if len(vals) == 0 {
+		return badRequest("ingest %s/%s: no values in body", ds, part)
+	}
+
+	chain := c.replicas(ds, part)
+	body := valuesBody(vals)
+	statuses := make([]ReplicaStatus, len(chain))
+	resps := make([]*IngestResponse, len(chain))
+	var wg sync.WaitGroup
+	for i, p := range chain {
+		statuses[i] = ReplicaStatus{Shard: p.id, Addr: p.addr}
+		if p.self {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, replayed, err := s.ingestLocalValues(r.Context(), ds, part, expected, key, vals)
+				if err != nil {
+					statuses[i].State = "error"
+					statuses[i].Error = err.Error()
+					return
+				}
+				statuses[i].State = "ok"
+				if replayed {
+					statuses[i].State = "replayed"
+				}
+				resps[i] = &resp
+			}(i)
+			continue
+		}
+		if !p.br.Allow() {
+			c.o.breakerSkips.Inc()
+			c.o.forwardErrs.Inc()
+			statuses[i].State = "breaker_open"
+			statuses[i].Error = "circuit breaker open"
+			continue
+		}
+		c.o.forwards.Inc()
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			start := time.Now()
+			resp, replayed, err := s.forwardIngest(r.Context(), p, ds, part, expected, key, body)
+			if err != nil {
+				p.br.Record(peerHealthy(err))
+				c.o.forwardErrs.Inc()
+				statuses[i].State = "error"
+				statuses[i].Error = err.Error()
+				return
+			}
+			p.br.Record(true)
+			p.lat.observe(time.Since(start).Nanoseconds())
+			statuses[i].State = "ok"
+			if replayed {
+				statuses[i].State = "replayed"
+			}
+			resps[i] = &resp
+		}(i, p)
+	}
+	wg.Wait()
+
+	acks := 0
+	var template *IngestResponse
+	for i := range statuses {
+		if statuses[i].State == "ok" || statuses[i].State == "replayed" {
+			acks++
+			if template == nil {
+				template = resps[i]
+			}
+		}
+	}
+	if acks < c.cfg.WriteQuorum || template == nil {
+		detail := make([]string, 0, len(statuses))
+		for _, st := range statuses {
+			if st.Error != "" {
+				detail = append(detail, fmt.Sprintf("shard %d: %s", st.Shard, st.Error))
+			}
+		}
+		return &httpError{code: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("ingest %s/%s: %d/%d replicas acknowledged (quorum %d): %s",
+				ds, part, acks, len(chain), c.cfg.WriteQuorum, strings.Join(detail, "; "))}
+	}
+	resp := *template
+	resp.Replicas = statuses
+	resp.Degraded = acks < len(chain)
+	if clientKeyed {
+		s.idem.put(idemScope(ds, part, key), resp)
+	}
+	writeJSON(w, http.StatusCreated, resp)
+	return nil
+}
+
+// forwardIngest sends the batch to one remote replica, healing a peer that
+// missed the dataset-creation broadcast (it was down at the time) by
+// creating the data set there from the local config and retrying once.
+func (s *Server) forwardIngest(ctx context.Context, p *peer, ds, part string, expected int64, key, body string) (IngestResponse, bool, error) {
+	resp, replayed, err := p.ingest.ingestForward(ctx, ds, part, expected, key, body)
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound ||
+		!strings.Contains(ae.Message, "unknown data set") {
+		return resp, replayed, err
+	}
+	cfg, cerr := s.wh.Config(ds)
+	if cerr != nil {
+		return resp, false, err
+	}
+	req := CreateDatasetRequest{
+		Name:      ds,
+		Algorithm: cfg.Algorithm.String(),
+		NF:        cfg.Core.NF(),
+		P:         cfg.Core.ExceedProb,
+		SBRate:    cfg.SBRate,
+	}
+	if cerr := p.ingest.createDatasetForward(ctx, req); cerr != nil {
+		return resp, false, err
+	}
+	return p.ingest.ingestForward(ctx, ds, part, expected, key, body)
+}
+
+// ingestLocalValues is the local replica write: the buffered counterpart of
+// handleIngest's streaming path — same idempotency registry, same journal
+// choreography (append, seal-before-ack, roll-in, commit).
+func (s *Server) ingestLocalValues(ctx context.Context, ds, part string, expected int64, key string, vals []int64) (IngestResponse, bool, error) {
+	if key != "" {
+		if resp, ok := s.idem.get(idemScope(ds, part, key)); ok {
+			return resp, true, nil
+		}
+	}
+	smp, err := s.wh.NewSampler(ds, expected)
+	if err != nil {
+		return IngestResponse{}, false, err
+	}
+	for _, v := range vals {
+		smp.Feed(v)
+	}
+	if s.journal != nil {
+		entry, err := s.journal.Begin(ds, part, key, expected)
+		if err != nil {
+			return IngestResponse{}, false, fmt.Errorf("journal: %w", err)
+		}
+		defer entry.Abort()
+		for off := 0; off < len(vals); off += ingestChunk {
+			end := off + ingestChunk
+			if end > len(vals) {
+				end = len(vals)
+			}
+			if err := entry.Append(vals[off:end]); err != nil {
+				return IngestResponse{}, false, fmt.Errorf("journal: %w", err)
+			}
+		}
+		if err := entry.SealContext(ctx, int64(len(vals))); err != nil {
+			return IngestResponse{}, false, fmt.Errorf("journal seal: %w", err)
+		}
+		sample, err := smp.Finalize()
+		if err != nil {
+			return IngestResponse{}, false, err
+		}
+		if err := s.wh.RollIn(ds, part, sample); err != nil {
+			return IngestResponse{}, false, err
+		}
+		_ = entry.Commit()
+		resp := IngestResponse{Dataset: ds, Partition: part, Read: int64(len(vals)), Sample: sampleMeta(sample)}
+		if key != "" {
+			s.idem.put(idemScope(ds, part, key), resp)
+		}
+		return resp, false, nil
+	}
+	sample, err := smp.Finalize()
+	if err != nil {
+		return IngestResponse{}, false, err
+	}
+	if err := s.wh.RollIn(ds, part, sample); err != nil {
+		return IngestResponse{}, false, err
+	}
+	resp := IngestResponse{Dataset: ds, Partition: part, Read: int64(len(vals)), Sample: sampleMeta(sample)}
+	if key != "" {
+		s.idem.put(idemScope(ds, part, key), resp)
+	}
+	return resp, false, nil
+}
+
+// broadcastDatasetCreate pushes a freshly created data set to every
+// reachable peer so replicas accept forwarded ingest for it. Best-effort: a
+// peer that is down gets healed lazily by forwardIngest's 404 path.
+func (s *Server) broadcastDatasetCreate(ctx context.Context, req CreateDatasetRequest) {
+	c := s.cluster
+	bctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		if p.self || !p.br.Allow() {
+			if !p.self {
+				c.o.breakerSkips.Inc()
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			err := p.ingest.createDatasetForward(bctx, req)
+			if err != nil {
+				// "already exists" conflicts are success for a broadcast.
+				var ae *APIError
+				if errors.As(err, &ae) && ae.StatusCode == http.StatusConflict {
+					err = nil
+				}
+			}
+			p.br.Record(err == nil || peerHealthy(err))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// handleRollOutCluster forwards a partition roll-out to its replica set.
+// Roll-out is idempotent, so per-replica 404s are tolerated; the request
+// succeeds when at least one replica actually held (and dropped) the
+// partition.
+func (s *Server) handleRollOutCluster(w http.ResponseWriter, r *http.Request) error {
+	c := s.cluster
+	ds, part := r.PathValue("ds"), r.PathValue("part")
+	chain := c.replicas(ds, part)
+	dropped := 0
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range chain {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			var err error
+			if p.self {
+				err = s.rollOutLocal(ds, part)
+			} else {
+				if !p.br.Allow() {
+					c.o.breakerSkips.Inc()
+					err = fmt.Errorf("shard %d: circuit breaker open", p.id)
+				} else {
+					err = p.ingest.rollOutForward(r.Context(), ds, part)
+					p.br.Record(err == nil || peerHealthy(err))
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				dropped++
+				return
+			}
+			var ae *APIError
+			if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+				return // the replica never had it; idempotent no-op
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}(p)
+	}
+	wg.Wait()
+	if dropped == 0 {
+		if firstErr != nil {
+			return badGateway("rollout %s/%s: %v", ds, part, firstErr)
+		}
+		return notFound("partition %s/%s not found", ds, part)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
+	return nil
+}

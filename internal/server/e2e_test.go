@@ -217,10 +217,15 @@ func TestServerEndToEnd(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	srv.BeginDrain()
-	if _, err := client.Health(ctx); err == nil {
-		t.Fatal("health must fail while draining")
+	// Liveness stays green while draining; readiness fails so load balancers
+	// de-pool the instance.
+	if h, err := client.Health(ctx); err != nil || h.Status != "draining" {
+		t.Fatalf("draining health: %+v, %v; want 200 with status draining", h, err)
+	}
+	if err := client.ReadyCheck(ctx); err == nil {
+		t.Fatal("readiness must fail while draining")
 	} else if ae := new(APIError); !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining health: %v, want 503", err)
+		t.Fatalf("draining readyz: %v, want 503", err)
 	}
 	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()

@@ -24,9 +24,18 @@ func nowNS() int64 { return time.Now().UnixNano() }
 
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" or "draining"
+	Status   string `json:"status"` // "ok", "booting" or "draining"
+	Ready    bool   `json:"ready"`
 	Datasets int    `json:"datasets"`
 	Inflight int    `json:"inflight"`
+}
+
+// ReadyResponse is the GET /readyz body.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason explains a false Ready: "booting" (WAL replay in flight) or
+	// "draining".
+	Reason string `json:"reason,omitempty"`
 }
 
 // DatasetInfo describes one data set: GET /v1/datasets and
@@ -60,12 +69,16 @@ type PartitionInfo struct {
 }
 
 // IngestResponse is the PUT partition body: how much was read and what
-// sample it condensed to.
+// sample it condensed to. In cluster mode the coordinator adds the
+// per-replica outcomes; Degraded marks a write acknowledged by a quorum but
+// not by every replica.
 type IngestResponse struct {
-	Dataset   string     `json:"dataset"`
-	Partition string     `json:"partition"`
-	Read      int64      `json:"read"`
-	Sample    SampleMeta `json:"sample"`
+	Dataset   string          `json:"dataset"`
+	Partition string          `json:"partition"`
+	Read      int64           `json:"read"`
+	Sample    SampleMeta      `json:"sample"`
+	Replicas  []ReplicaStatus `json:"replicas,omitempty"`
+	Degraded  bool            `json:"degraded,omitempty"`
 }
 
 // SampleMeta summarizes a (merged) sample without its values.
@@ -127,6 +140,11 @@ type SampleResponse struct {
 	Values   []ValueCount `json:"values,omitempty"`
 	// Truncated is set when ?limit= cut the value list short.
 	Truncated bool `json:"truncated,omitempty"`
+	// Degraded mirrors Coverage.Partial: the answer stands on fewer
+	// partitions than requested. Shards carries the per-shard outcomes when
+	// a cluster coordinator assembled the answer.
+	Degraded bool          `json:"degraded,omitempty"`
+	Shards   []ShardStatus `json:"shards,omitempty"`
 	// TraceID and Trace are populated by ?explain=1: the request's span tree
 	// as of response assembly (the query EXPLAIN ANALYZE).
 	TraceID string            `json:"trace_id,omitempty"`
@@ -154,7 +172,13 @@ type EstimateResponse struct {
 	Groups     []estimate.GroupResult[int64] `json:"groups,omitempty"`
 	Sample     SampleMeta                    `json:"sample"`
 	Coverage   Coverage                      `json:"coverage"`
-	ElapsedNS  int64                         `json:"elapsed_ns"`
+	// Degraded mirrors Coverage.Partial: the answer stands on fewer
+	// partitions than requested (its intervals are honest but wider).
+	// Shards carries the per-shard outcomes when a cluster coordinator
+	// assembled the answer.
+	Degraded  bool          `json:"degraded,omitempty"`
+	Shards    []ShardStatus `json:"shards,omitempty"`
+	ElapsedNS int64         `json:"elapsed_ns"`
 	// TraceID and Trace are populated by ?explain=1: the request's span tree
 	// as of response assembly (the query EXPLAIN ANALYZE). The top-level
 	// child spans — admission_wait, load, merge, estimate — partition the
@@ -188,16 +212,33 @@ func explainTrace(r *http.Request) (string, *obs.SpanSnapshot) {
 	return tr.ID(), &snap
 }
 
+// handleHealth is GET /healthz: pure liveness. It answers 200 as long as the
+// process serves HTTP at all — during WAL boot replay and during drain
+// included — so orchestrators restart only truly wedged processes. Routing
+// decisions belong to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Datasets: len(s.wh.Datasets()), Inflight: s.Inflight()}
-	code := http.StatusOK
-	if s.Draining() {
-		// Failing health during drain makes load balancers de-pool the
-		// instance while in-flight requests finish.
-		resp.Status = "draining"
-		code = http.StatusServiceUnavailable
+	resp := HealthResponse{Status: "ok", Ready: true, Datasets: len(s.wh.Datasets()), Inflight: s.Inflight()}
+	switch {
+	case !s.ReadyState():
+		resp.Status, resp.Ready = "booting", false
+	case s.Draining():
+		resp.Status, resp.Ready = "draining", false
 	}
-	writeJSON(w, code, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReady is GET /readyz: readiness. 503 while the node is booting (WAL
+// replay in flight) or draining, 200 once it can serve. Load balancers
+// de-pool on it, and cluster peers use it for breaker probes and /clusterz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !s.ReadyState():
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "booting"})
+	case s.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "draining"})
+	default:
+		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -309,6 +350,12 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return err
 	}
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		// Cluster mode: push the data set to the peers so replicas accept
+		// forwarded ingest for it. Best-effort — a peer that is down now is
+		// healed lazily on its first forwarded ingest.
+		s.broadcastDatasetCreate(r.Context(), req)
+	}
 	writeJSON(w, http.StatusCreated, info)
 	return nil
 }
@@ -357,6 +404,9 @@ const ingestChunk = 4096
 // with the original response and an `Idempotency-Replayed: true` header
 // instead of ingesting again.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	if s.coordinated(r) {
+		return s.handleIngestCluster(w, r)
+	}
 	ds, part := r.PathValue("ds"), r.PathValue("part")
 	expected := int64(0)
 	if raw := r.URL.Query().Get("expected"); raw != "" {
@@ -506,7 +556,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleRollOut(w http.ResponseWriter, r *http.Request) error {
+	if s.coordinated(r) {
+		return s.handleRollOutCluster(w, r)
+	}
 	ds, part := r.PathValue("ds"), r.PathValue("part")
+	if err := s.rollOutLocal(ds, part); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
+	return nil
+}
+
+// rollOutLocal drops one partition from the local warehouse.
+func (s *Server) rollOutLocal(ds, part string) error {
 	parts, err := s.wh.Partitions(ds)
 	if err != nil {
 		return notFound("unknown data set %q", ds)
@@ -522,11 +584,7 @@ func (s *Server) handleRollOut(w http.ResponseWriter, r *http.Request) error {
 		// RollOut itself is an idempotent no-op; the API reports the truth.
 		return notFound("partition %s/%s not found", ds, part)
 	}
-	if err := s.wh.RollOut(ds, part); err != nil {
-		return err
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
-	return nil
+	return s.wh.RollOut(ds, part)
 }
 
 // mergeParams resolves the shared merge-query parameters: the partition
@@ -605,11 +663,23 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	smp, cov, err := s.merged(r, ds, ids, partial)
+	var (
+		smp      *core.Sample[int64]
+		cov      Coverage
+		shards   []ShardStatus
+		degraded bool
+	)
+	if s.coordinated(r) {
+		smp, cov, shards, degraded, err = s.scatterMerged(r, ds, ids, partial)
+	} else {
+		smp, cov, err = s.merged(r, ds, ids, partial)
+		degraded = cov.Partial
+	}
 	if err != nil {
 		return err
 	}
-	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov}
+	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov,
+		Degraded: degraded, Shards: shards}
 	if explain {
 		resp.TraceID, resp.Trace = explainTrace(r)
 	}
@@ -659,7 +729,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	smp, cov, err := s.merged(r, ds, ids, partial)
+	var (
+		smp      *core.Sample[int64]
+		cov      Coverage
+		shards   []ShardStatus
+		degraded bool
+	)
+	if s.coordinated(r) {
+		smp, cov, shards, degraded, err = s.scatterMerged(r, ds, ids, partial)
+	} else {
+		smp, cov, err = s.merged(r, ds, ids, partial)
+		degraded = cov.Partial
+	}
 	if err != nil {
 		return err
 	}
@@ -673,6 +754,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	resp := EstimateResponse{
 		Dataset: ds, Query: q, Confidence: confidence,
 		Sample: sampleMeta(smp), Coverage: cov,
+		Degraded: degraded, Shards: shards,
 	}
 	err = s.answer(&resp, est, smp, q)
 	esp.SetError(err)

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is a small ring of recent request latencies used to derive the
+// hedging threshold: a duplicate request is worth firing once the primary
+// has been out longer than the peer's p95. Safe for concurrent use.
+type latWindow struct {
+	mu  sync.Mutex
+	buf []int64 // nanoseconds
+	idx int
+	n   int
+}
+
+func newLatWindow(size int) *latWindow {
+	if size <= 0 {
+		size = 64
+	}
+	return &latWindow{buf: make([]int64, size)}
+}
+
+func (l *latWindow) observe(ns int64) {
+	l.mu.Lock()
+	l.buf[l.idx] = ns
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-th latency quantile of the window; ok is false
+// until at least 8 observations exist (too few to trust a tail estimate).
+func (l *latWindow) quantile(q float64) (ns int64, ok bool) {
+	l.mu.Lock()
+	if l.n < 8 {
+		l.mu.Unlock()
+		return 0, false
+	}
+	s := make([]int64, l.n)
+	copy(s, l.buf[:l.n])
+	l.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i], true
+}
+
+// peer is one cluster member as seen from this node: its shard id and base
+// URL, two HTTP clients (fast-failing for scatter, retrying for replica
+// ingest), a circuit breaker and a latency window. The self peer carries no
+// clients — local work goes straight to the warehouse.
+type peer struct {
+	id   int
+	addr string
+	self bool
+
+	// query fails fast (no automatic retries) so the coordinator's own
+	// failover and hedging own the recovery policy; ingest keeps the
+	// default retry policy because a replica write has exactly one valid
+	// target and an idempotency key making re-sends safe.
+	query  *Client
+	ingest *Client
+
+	br  *breaker
+	lat *latWindow
+}
+
+func newPeer(id int, addr string, self bool, brCfg BreakerConfig, httpc *http.Client) *peer {
+	p := &peer{
+		id:   id,
+		addr: addr,
+		self: self,
+		br:   newBreaker(brCfg),
+		lat:  newLatWindow(64),
+	}
+	if !self {
+		p.query = NewClient(addr, httpc).SetRetryPolicy(NoRetry())
+		p.ingest = NewClient(addr, httpc).SetRetryPolicy(RetryPolicy{
+			MaxAttempts: 2, BaseBackoff: 25 * time.Millisecond, MaxBackoff: 250 * time.Millisecond,
+		})
+	}
+	return p
+}
+
+// hedgeDelay derives when a duplicate of an outstanding request to this peer
+// should fire: the peer's observed latency quantile, clamped to
+// [min, max]; before enough observations exist, the configured initial
+// delay.
+func (p *peer) hedgeDelay(q float64, initial, min, max time.Duration) time.Duration {
+	d := initial
+	if ns, ok := p.lat.quantile(q); ok {
+		d = time.Duration(ns)
+	}
+	if d < min {
+		d = min
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

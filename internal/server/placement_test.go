@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPlacementDeterministic(t *testing.T) {
+	a, err := NewPlacement(5, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPlacement(5, 3, 64)
+	for i := 0; i < 200; i++ {
+		key := placementKey("d", fmt.Sprintf("p%03d", i))
+		ra, rb := a.Replicas(key), b.Replicas(key)
+		if len(ra) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(ra))
+		}
+		seen := map[int]bool{}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("key %q: rings disagree: %v vs %v", key, ra, rb)
+			}
+			if ra[j] < 0 || ra[j] >= 5 {
+				t.Fatalf("key %q: shard %d out of range", key, ra[j])
+			}
+			if seen[ra[j]] {
+				t.Fatalf("key %q: duplicate shard in %v", key, ra)
+			}
+			seen[ra[j]] = true
+		}
+		if a.Primary(key) != ra[0] {
+			t.Fatalf("key %q: primary %d != replicas[0] %d", key, a.Primary(key), ra[0])
+		}
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	p, err := NewPlacement(4, 1, 0) // 0 vnodes selects the default 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[p.Primary(placementKey("d", fmt.Sprintf("part-%05d", i)))]++
+	}
+	for s, c := range counts {
+		// Perfect balance is n/4 = 1000; virtual nodes keep the skew modest.
+		if c < n/4/2 || c > n/4*2 {
+			t.Fatalf("shard %d owns %d of %d partitions (counts %v)", s, c, n, counts)
+		}
+	}
+}
+
+func TestPlacementClamps(t *testing.T) {
+	p, err := NewPlacement(2, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication() != 2 {
+		t.Fatalf("replication %d, want clamp to 2", p.Replication())
+	}
+	if got := len(p.Replicas("k")); got != 2 {
+		t.Fatalf("%d replicas, want 2", got)
+	}
+	if _, err := NewPlacement(0, 1, 1); err == nil {
+		t.Fatal("0 shards must error")
+	}
+}
+
+func TestPlacementDatasetScoped(t *testing.T) {
+	p, _ := NewPlacement(8, 1, 64)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		part := fmt.Sprintf("p%03d", i)
+		if p.Primary(placementKey("a", part)) == p.Primary(placementKey("b", part)) {
+			same++
+		}
+	}
+	// Identical partition names in different data sets must not be pinned to
+	// the same shards; ~1/8 collide by chance.
+	if same > n/2 {
+		t.Fatalf("%d/%d identically placed across data sets", same, n)
+	}
+}

@@ -195,6 +195,11 @@ type Server struct {
 	ingest *limiter
 	query  *limiter
 
+	// cluster is non-nil in cluster mode (EnableCluster): this node then
+	// coordinates scatter-gather queries and replicated ingest.
+	cluster *clusterState
+
+	ready    atomic.Bool
 	draining atomic.Bool
 	served   atomic.Int64
 }
@@ -216,6 +221,7 @@ func New(wh *warehouse.Warehouse[int64], cfg Config) *Server {
 		ingest:  newLimiter(cfg.IngestLimit, cfg.queueDepth(cfg.IngestLimit), cfg.QueueWait),
 		query:   newLimiter(cfg.QueryLimit, cfg.queueDepth(cfg.QueryLimit), cfg.QueueWait),
 	}
+	s.ready.Store(true)
 	s.routes()
 	return s
 }
@@ -241,6 +247,8 @@ func (s *Server) SeedIdempotency(replayed []warehouse.ReplayedIngest[int64]) {
 // — they must answer precisely when the serving classes are saturated.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /clusterz", s.handleClusterz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
@@ -266,11 +274,22 @@ func (s *Server) Inflight() int {
 	return s.read.inflight() + s.ingest.inflight() + s.query.inflight()
 }
 
-// BeginDrain flips the server into draining state: /healthz starts failing
-// (so load balancers de-pool the instance) while already-accepted requests
-// keep executing. The caller then runs http.Server.Shutdown, which stops
-// the listener and waits for in-flight requests — together, no request is
-// dropped after accept.
+// SetReady flips the readiness gate. cmd/swd binds its listener before WAL
+// replay and calls SetReady(true) once replay lands, so /readyz (and the
+// admission-controlled routes, which answer 503 until then) tell peers and
+// load balancers precisely when the node can serve. Liveness (/healthz) is
+// unaffected.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// ReadyState reports the readiness gate (drain state not included; see
+// handleReady for the wire semantics).
+func (s *Server) ReadyState() bool { return s.ready.Load() }
+
+// BeginDrain flips the server into draining state: /readyz starts failing
+// (so load balancers and cluster peers de-pool the instance) while
+// already-accepted requests keep executing. The caller then runs
+// http.Server.Shutdown, which stops the listener and waits for in-flight
+// requests — together, no request is dropped after accept.
 func (s *Server) BeginDrain() {
 	if s.draining.Swap(true) {
 		return
@@ -324,6 +343,16 @@ func (s *Server) wrap(lim *limiter, route string, fn handlerFunc) http.Handler {
 				writeError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
+
+		if !s.ready.Load() {
+			// Booting (WAL replay in flight): the listener is up so probes
+			// and peers get a crisp 503 instead of connection refused, but
+			// no serving-class work runs until the state is consistent.
+			secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeError(w, http.StatusServiceUnavailable, "not ready: booting")
+			return
+		}
 
 		ctx, cancel, err := s.requestContext(r)
 		if err != nil {

@@ -207,12 +207,46 @@ func TestHealthAndDrain(t *testing.T) {
 		t.Fatalf("healthz %d, want 200", w.Code)
 	}
 	h := decode[HealthResponse](t, w)
-	if h.Status != "ok" || h.Datasets != 1 {
+	if h.Status != "ok" || !h.Ready || h.Datasets != 1 {
 		t.Fatalf("health %+v", h)
 	}
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("readyz %d, want 200", w.Code)
+	}
 	s.BeginDrain()
-	if w := do(t, s, http.MethodGet, "/healthz", ""); w.Code != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz %d, want 503", w.Code)
+	// Liveness stays green during drain (the process is healthy); readiness
+	// fails so traffic is routed away.
+	if w := do(t, s, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("draining healthz %d, want 200", w.Code)
+	}
+	if h := decode[HealthResponse](t, do(t, s, http.MethodGet, "/healthz", "")); h.Status != "draining" || h.Ready {
+		t.Fatalf("draining health %+v", h)
+	}
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz %d, want 503", w.Code)
+	}
+}
+
+func TestReadinessGate(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.SetReady(false)
+	// Liveness and readiness probes answer while booting; serving routes 503.
+	if w := do(t, s, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("booting healthz %d, want 200", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("booting readyz %d, want 503", w.Code)
+	}
+	w := do(t, s, http.MethodGet, "/v1/datasets", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("booting datasets %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("booting 503 without Retry-After")
+	}
+	s.SetReady(true)
+	if w := do(t, s, http.MethodGet, "/v1/datasets", ""); w.Code != http.StatusOK {
+		t.Fatalf("ready datasets %d, want 200", w.Code)
 	}
 }
 

@@ -589,6 +589,17 @@ type ClientRetryPolicy = server.RetryPolicy
 // (see cmd/swd and DESIGN.md §11).
 type IngestJournal = wal.Log[int64]
 
+// ClusterConfig switches a Server into fault-tolerant cluster mode via
+// Server.EnableCluster: static peer membership, consistent-hash partition
+// placement with replication, replicated scatter-gather queries with hedged
+// requests and per-peer circuit breakers, and degraded-coverage answers when
+// shards are unreachable (see cmd/swd -peers and DESIGN.md §13).
+type ClusterConfig = server.ClusterConfig
+
+// ClusterBreakerConfig tunes the per-peer circuit breakers of a clustered
+// Server (rolling failure window, open duration, half-open probing).
+type ClusterBreakerConfig = server.BreakerConfig
+
 // WorkloadSpec describes a synthetic data set (the paper's unique, uniform
 // and Zipfian evaluation workloads).
 type WorkloadSpec = workload.Spec

@@ -1,0 +1,163 @@
+#!/bin/sh
+# Cluster kill drill: boot a 3-shard swd cluster (replication 2, write quorum
+# 1), drive keyed ingest and scatter-gather queries through it, SIGKILL one
+# shard mid-flight, and require:
+#   - every acknowledged batch survives exactly once (parent sizes are exact),
+#   - queries stay error-free through the outage (degraded allowed, 5xx not),
+#   - with two shards down, answers are flagged "degraded" instead of failing,
+#   - the killed shard rejoins after restart and the cluster reports it ready.
+#
+# Usage: scripts/chaos-cluster.sh [batches]
+set -eu
+
+BATCHES="${1:-12}"
+BATCH_SIZE=1000
+DIR="$(mktemp -d)"
+PORT1=8611; PORT2=8612; PORT3=8613
+PEERS="http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2,http://127.0.0.1:$PORT3"
+PID1=""; PID2=""; PID3=""
+
+cleanup() {
+    for pid in "$PID1" "$PID2" "$PID3"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/swd" ./cmd/swd
+go build -o "$DIR/swcli" ./cmd/swcli
+
+# start_shard ID PORT -> pid on stdout
+start_shard() {
+    # stdout must not leak into the caller's command substitution, or the
+    # $() capturing our pid would block until the daemon exits.
+    "$DIR/swd" -dir "$DIR/shard$1" -addr "127.0.0.1:$2" \
+        -peers "$PEERS" -shard-id "$1" -replication 2 -write-quorum 1 \
+        -hedge-initial 25ms -breaker-open 500ms -timeout 5s \
+        >/dev/null 2>>"$DIR/shard$1.log" &
+    echo $!
+}
+
+# wait_ready PORT
+wait_ready() {
+    i=0
+    until curl -sf "http://127.0.0.1:$1/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "shard on :$1 never became ready" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== boot 3 shards (replication 2, write quorum 1)"
+PID1="$(start_shard 0 $PORT1)"
+PID2="$(start_shard 1 $PORT2)"
+PID3="$(start_shard 2 $PORT3)"
+wait_ready $PORT1; wait_ready $PORT2; wait_ready $PORT3
+
+BASE1="http://127.0.0.1:$PORT1"
+BASE2="http://127.0.0.1:$PORT2"
+BASE3="http://127.0.0.1:$PORT3"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"name":"drill","algorithm":"HR","nf":8192}' "$BASE1/v1/datasets")"
+[ "$code" = "201" ] || { echo "dataset create -> $code" >&2; exit 1; }
+
+# ingest_batch N COORD_BASE — keyed PUT, retried until acknowledged. Ambiguous
+# failures are safe to retry blindly: the Idempotency-Key makes the replicas
+# replay instead of double-counting.
+ingest_batch() {
+    n="$1"; coord="$2"
+    attempt=0
+    while :; do
+        attempt=$((attempt + 1))
+        if [ "$attempt" -gt 100 ]; then
+            echo "batch $n never acknowledged" >&2
+            exit 1
+        fi
+        code="$(seq 1 $BATCH_SIZE | curl -s -o /dev/null -w '%{http_code}' \
+            -X PUT -H "Idempotency-Key: drill-$n" --data-binary @- \
+            "$coord/v1/datasets/drill/partitions/b$n" || echo 000)"
+        [ "$code" = "201" ] && return 0
+        sleep 0.1
+    done
+}
+
+# query_code COORD_BASE -> HTTP status of a discovery estimate
+query_code() {
+    curl -s -o "$DIR/last-query.json" -w '%{http_code}' \
+        "$1/v1/datasets/drill/estimate?q=avg" || echo 000
+}
+
+echo "== phase 1: ingest through all coordinators, then SIGKILL shard 2 mid-flight"
+half=$((BATCHES / 2))
+n=1
+while [ "$n" -le "$half" ]; do
+    case $((n % 3)) in
+        0) ingest_batch "$n" "$BASE1" ;;
+        1) ingest_batch "$n" "$BASE2" ;;
+        2) ingest_batch "$n" "$BASE3" ;;
+    esac
+    n=$((n + 1))
+done
+
+kill -9 "$PID3"; PID3=""
+echo "   shard 2 killed; ingest and queries continue through the survivors"
+
+while [ "$n" -le "$BATCHES" ]; do
+    case $((n % 2)) in
+        0) ingest_batch "$n" "$BASE1" ;;
+        1) ingest_batch "$n" "$BASE2" ;;
+    esac
+    code="$(query_code "$BASE1")"
+    [ "$code" = "200" ] || { echo "query during outage -> $code" >&2; cat "$DIR/last-query.json" >&2; exit 1; }
+    n=$((n + 1))
+done
+
+echo "== phase 2: two shards down -> answers must degrade, not fail"
+kill -9 "$PID2"; PID2=""
+code="$(query_code "$BASE1")"
+[ "$code" = "200" ] || { echo "query with 2 shards down -> $code" >&2; cat "$DIR/last-query.json" >&2; exit 1; }
+case "$(cat "$DIR/last-query.json")" in
+*'"degraded": true'*|*'"degraded":true'*) ;;
+*) echo "two-shards-down answer not flagged degraded:" >&2; cat "$DIR/last-query.json" >&2; exit 1 ;;
+esac
+
+echo "== phase 3: restart both shards; they must rejoin ready"
+PID2="$(start_shard 1 $PORT2)"
+PID3="$(start_shard 2 $PORT3)"
+wait_ready $PORT2; wait_ready $PORT3
+"$DIR/swcli" cluster status -addr "$BASE1"
+if "$DIR/swcli" cluster status -addr "$BASE1" | grep -q ' down '; then
+    echo "restarted shard still reported down" >&2
+    exit 1
+fi
+
+echo "== verify: every acknowledged batch present exactly once"
+n=1
+while [ "$n" -le "$BATCHES" ]; do
+    code="$(curl -s -o "$DIR/verify.json" -w '%{http_code}' \
+        "$BASE1/v1/datasets/drill/estimate?q=sum&parts=b$n&strict=1")"
+    [ "$code" = "200" ] || { echo "strict query for b$n -> $code" >&2; cat "$DIR/verify.json" >&2; exit 1; }
+    case "$(cat "$DIR/verify.json")" in
+    *'"parent_size": '$BATCH_SIZE*|*'"parent_size":'$BATCH_SIZE*) ;;
+    *) echo "batch b$n parent size wrong (lost or duplicated):" >&2; cat "$DIR/verify.json" >&2; exit 1 ;;
+    esac
+    n=$((n + 1))
+done
+
+# The union across every batch must also be exact: BATCHES x BATCH_SIZE.
+total=$((BATCHES * BATCH_SIZE))
+code="$(curl -s -o "$DIR/verify.json" -w '%{http_code}' \
+    "$BASE1/v1/datasets/drill/estimate?q=avg&strict=1")"
+[ "$code" = "200" ] || { echo "final strict estimate -> $code" >&2; exit 1; }
+case "$(cat "$DIR/verify.json")" in
+*'"parent_size": '$total*|*'"parent_size":'$total*) ;;
+*) echo "final merged parent size != $total (lost or duplicated batch):" >&2; cat "$DIR/verify.json" >&2; exit 1 ;;
+esac
+
+echo "chaos-cluster: OK ($BATCHES batches, one mid-flight kill, one double outage, exactly-once verified)"

@@ -28,7 +28,7 @@ SWD_PID=$!
 
 # Wait for the listener (up to ~5s).
 i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
     i=$((i + 1))
     if [ "$i" -ge 50 ]; then
         echo "swd never became healthy" >&2
@@ -55,6 +55,7 @@ expect() {
 
 echo "== endpoints"
 expect 200 "$BASE/healthz"
+expect 200 "$BASE/readyz"
 expect 200 "$BASE/metricsz"
 expect 201 -X POST -d '{"name":"smoke","algorithm":"HR","nf":512}' "$BASE/v1/datasets"
 expect 200 "$BASE/v1/datasets"
