@@ -77,14 +77,15 @@ type breaker struct {
 	cfg BreakerConfig
 	now func() time.Time // injectable clock for tests
 
-	mu       sync.Mutex
-	outcomes []bool // ring of success flags
-	idx      int
-	filled   int
-	fails    int
-	state    BreakerState
-	openedAt time.Time
-	probing  bool // a half-open probe is in flight
+	mu         sync.Mutex
+	outcomes   []bool // ring of success flags
+	idx        int
+	filled     int
+	fails      int
+	state      BreakerState
+	openedAt   time.Time
+	probing    bool      // a half-open probe is in flight
+	probeStart time.Time // when the in-flight probe was admitted
 }
 
 func newBreaker(cfg BreakerConfig) *breaker {
@@ -98,29 +99,47 @@ func newBreaker(cfg BreakerConfig) *breaker {
 
 // Allow reports whether a request to the peer may proceed. In the open state
 // it returns false instantly — the caller skips the peer without spending
-// any of its deadline budget. After OpenFor it admits exactly one half-open
-// probe; further calls fail until that probe's Record arrives.
-func (b *breaker) Allow() bool {
+// any of its deadline budget. After OpenFor it admits one half-open probe;
+// probe is true for that call, and its holder must settle the slot with
+// Record (outcome) or CancelProbe (attempt abandoned). As a backstop against
+// a holder that does neither, the slot expires after another OpenFor and a
+// replacement probe is admitted — the latch can delay recovery but never
+// fence a healthy peer permanently.
+func (b *breaker) Allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return true
+		b.probeStart = b.now()
+		return true, true
 	case BreakerHalfOpen:
-		if b.probing {
-			return false
+		if b.probing && b.now().Sub(b.probeStart) < b.cfg.OpenFor {
+			return false, false
 		}
 		b.probing = true
-		return true
+		b.probeStart = b.now()
+		return true, true
 	}
-	return false
+	return false, false
+}
+
+// CancelProbe releases the half-open probe slot without recording an
+// outcome — for probe attempts that were abandoned (lost hedge race,
+// coordinator returned before gathering the result) and therefore prove
+// nothing about the peer. The next Allow admits a fresh probe.
+func (b *breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
 }
 
 // Record feeds one request outcome back. Cancellations that are not the

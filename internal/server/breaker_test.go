@@ -30,7 +30,7 @@ func TestBreakerTripsOnFailureRatio(t *testing.T) {
 	if b.State() != BreakerOpen {
 		t.Fatalf("state %v after 4/4 failures, want open", b.State())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("open breaker must reject instantly")
 	}
 }
@@ -42,17 +42,17 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	if b.State() != BreakerOpen {
 		t.Fatalf("state %v, want open", b.State())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("must reject before OpenFor elapses")
 	}
 	clk.advance(1100 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("must admit one probe after OpenFor")
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("Allow() = %v, %v after OpenFor, want one probe admitted", ok, probe)
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state %v, want half_open", b.State())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("only one probe may be in flight")
 	}
 	// Probe succeeds: breaker closes with a fresh window.
@@ -60,8 +60,8 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	if b.State() != BreakerClosed {
 		t.Fatalf("state %v after successful probe, want closed", b.State())
 	}
-	if !b.Allow() {
-		t.Fatal("closed breaker must admit")
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatalf("Allow() = %v, %v on closed breaker, want plain admit", ok, probe)
 	}
 	// One failure on the fresh window must not trip (MinSamples again).
 	b.Record(false)
@@ -75,19 +75,19 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 	b.Record(false)
 	b.Record(false)
 	clk.advance(2 * time.Second)
-	if !b.Allow() {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("probe must be admitted")
 	}
 	b.Record(false)
 	if b.State() != BreakerOpen {
 		t.Fatalf("state %v after failed probe, want open", b.State())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("re-opened breaker must reject")
 	}
 	// The re-open restarts the OpenFor clock.
 	clk.advance(1100 * time.Millisecond)
-	if !b.Allow() {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("second probe after OpenFor must be admitted")
 	}
 }
@@ -103,5 +103,53 @@ func TestBreakerRollingWindow(t *testing.T) {
 	// ordering reaches MinSamples at the trip point.
 	if b.State() != BreakerOpen {
 		t.Fatalf("state %v at exactly the failure ratio, want open", b.State())
+	}
+}
+
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("Allow() = %v, %v, want probe admitted", ok, probe)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("slot held: second probe must be rejected")
+	}
+	// The probe attempt is abandoned (lost a hedge race, coordinator
+	// returned early): releasing the slot must admit a replacement probe
+	// immediately, not fence the peer until restart.
+	b.CancelProbe()
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("Allow() = %v, %v after CancelProbe, want replacement probe", ok, probe)
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful replacement probe, want closed", b.State())
+	}
+}
+
+func TestBreakerProbeLatchExpires(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(1100 * time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe must be admitted")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("slot held: second probe must be rejected")
+	}
+	// The probe holder never settles the slot (no Record, no CancelProbe).
+	// After another OpenFor the latch expires and a replacement probe goes
+	// through — a leaked probe can delay recovery but never fence forever.
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("Allow() = %v, %v after latch expiry, want replacement probe", ok, probe)
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed", b.State())
 	}
 }

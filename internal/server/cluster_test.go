@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -617,5 +618,108 @@ func TestClusterStatusEndpoint(t *testing.T) {
 	solo := newTestServer(t, Config{})
 	if w := do(t, solo, http.MethodGet, "/clusterz", ""); w.Code != http.StatusNotFound {
 		t.Fatalf("solo clusterz %d, want 404", w.Code)
+	}
+}
+
+// TestClusterQueryHealsMissedDatasetCreate: a node that was down during the
+// dataset-create broadcast must not answer 404 to coordinated queries for
+// data the cluster holds — the query path heals the definition from a peer,
+// mirroring forwardIngest's 404 heal, so a query-only workload converges.
+func TestClusterQueryHealsMissedDatasetCreate(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 2, clusterOpts{replication: 1, hedgeOff: true})
+
+	// Shard 1 knows the data set; shard 0 "missed the broadcast" (it never
+	// hears about it — the definition is planted directly in shard 1's
+	// warehouse, no cluster create involved).
+	cfg, err := datasetConfig(CreateDatasetRequest{Name: "heal", NF: 2048})
+	if err != nil {
+		t.Fatalf("dataset config: %v", err)
+	}
+	if err := tc.whs[1].CreateDataset("heal", cfg); err != nil {
+		t.Fatalf("create on shard 1: %v", err)
+	}
+
+	// Pick a partition placed on shard 1 so ingest never touches shard 0.
+	part := ""
+	for i := 0; i < 256; i++ {
+		p := fmt.Sprintf("p%03d", i)
+		if tc.chainOf("heal", p)[0] == 1 {
+			part = p
+			break
+		}
+	}
+	if part == "" {
+		t.Fatal("no partition placed on shard 1")
+	}
+	if _, err := tc.clients[1].IngestValues(ctx, "heal", part, 0, seqValues(0, 500)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if _, err := tc.whs[0].Config("heal"); err == nil {
+		t.Fatal("shard 0 must not know the data set yet")
+	}
+
+	// Querying via shard 0 must heal and answer, not 404.
+	resp, err := tc.clients[0].Sample(ctx, "heal", QueryOpts{})
+	if err != nil {
+		t.Fatalf("coordinated query via shard 0: %v", err)
+	}
+	if resp.Degraded {
+		t.Fatalf("healed answer must not be degraded: %+v", resp.Coverage)
+	}
+	if len(resp.Coverage.Merged) != 1 || resp.Coverage.Merged[0] != part {
+		t.Fatalf("coverage %v, want [%s]", resp.Coverage.Merged, part)
+	}
+	if _, err := tc.whs[0].Config("heal"); err != nil {
+		t.Fatalf("shard 0 must hold the healed definition: %v", err)
+	}
+}
+
+// TestClusterRollOutReportsDegradedReplica: a roll-out that a dead replica
+// did not apply must say so — per-replica outcomes plus degraded, so the
+// caller knows the partition will resurrect when that replica recovers
+// (there is no anti-entropy) and retries the idempotent delete.
+func TestClusterRollOutReportsDegradedReplica(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 3, clusterOpts{replication: 2, writeQuorum: 1, hedgeOff: true})
+	tc.createDataset(ctx, 0, "ro", 2048)
+	if _, err := tc.clients[0].IngestValues(ctx, "ro", "p1", 0, seqValues(0, 300)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	chain := tc.chainOf("ro", "p1")
+	dead, live := chain[1], chain[0]
+	tc.kill(dead)
+
+	// Coordinate the delete via the live replica.
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		tc.addrs[live]+"/v1/datasets/ro/partitions/p1", nil)
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("rollout: %v", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("rollout status %d, want 200", hresp.StatusCode)
+	}
+	var resp RollOutResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode rollout response: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatalf("rollout with a dead replica must be degraded: %+v", resp)
+	}
+	states := map[int]string{}
+	for _, st := range resp.Replicas {
+		states[st.Shard] = st.State
+	}
+	if states[live] != "ok" {
+		t.Fatalf("live replica state %q, want ok (%+v)", states[live], resp.Replicas)
+	}
+	if states[dead] != "error" && states[dead] != "breaker_open" {
+		t.Fatalf("dead replica state %q, want error or breaker_open (%+v)", states[dead], resp.Replicas)
 	}
 }

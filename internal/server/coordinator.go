@@ -270,15 +270,32 @@ func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chai
 	gctx, gcancel := context.WithCancel(ctx)
 	defer gcancel()
 
+	// probes tracks attempts holding their peer's half-open probe slot. A
+	// probe whose outcome never reaches Record — it lost the hedge race, or
+	// this fetch returned while it was still in flight — must release the
+	// slot via CancelProbe, or the peer stays fenced until the latch expires.
+	probes := make(map[*peer]bool)
+	defer func() {
+		for p := range probes {
+			p.br.CancelProbe()
+		}
+	}()
+
 	next := 0
 	launch := func(hedged bool) *peer {
 		for next < len(chain) {
 			p := chain[next]
 			next++
-			if !p.self && !p.br.Allow() {
-				c.o.breakerSkips.Inc()
-				agg.note(p, "breaker_open", errors.New("circuit breaker open"), 0, false)
-				continue
+			if !p.self {
+				ok, probe := p.br.Allow()
+				if !ok {
+					c.o.breakerSkips.Inc()
+					agg.note(p, "breaker_open", errors.New("circuit breaker open"), 0, false)
+					continue
+				}
+				if probe {
+					probes[p] = true
+				}
 			}
 			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged) }()
 			return p
@@ -303,12 +320,22 @@ func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chai
 		select {
 		case out := <-results:
 			inflight--
-			if !out.p.self && !out.canceled {
-				ok := out.err == nil || peerHealthy(out.err)
-				out.p.br.Record(ok)
-				if out.err == nil {
-					out.p.lat.observe(out.elapsed.Nanoseconds())
-					c.o.peerLatency.Observe(out.elapsed.Nanoseconds())
+			if !out.p.self {
+				if out.canceled {
+					// Not the peer's fault, so no Record — but a probe
+					// attempt must still release the slot it holds.
+					if probes[out.p] {
+						delete(probes, out.p)
+						out.p.br.CancelProbe()
+					}
+				} else {
+					delete(probes, out.p) // Record settles the probe slot
+					ok := out.err == nil || peerHealthy(out.err)
+					out.p.br.Record(ok)
+					if out.err == nil {
+						out.p.lat.observe(out.elapsed.Nanoseconds())
+						c.o.peerLatency.Observe(out.elapsed.Nanoseconds())
+					}
 				}
 			}
 			if out.err == nil {
@@ -376,7 +403,7 @@ func (s *Server) listPartitions(ctx context.Context, ds string, agg *shardAgg) (
 			mu.Unlock()
 			continue
 		}
-		if !p.br.Allow() {
+		if ok, _ := p.br.Allow(); !ok {
 			c.o.breakerSkips.Inc()
 			failed.Add(1)
 			agg.note(p, "breaker_open", errors.New("circuit breaker open"), 0, false)
@@ -417,6 +444,52 @@ func (s *Server) listPartitions(ctx context.Context, ds string, agg *shardAgg) (
 	return out, int(failed.Load()), nil
 }
 
+// healDatasetFromPeers recovers a data set definition this node missed (it
+// was down during the create broadcast) by fetching it from a peer and
+// creating it locally — the query-path counterpart of forwardIngest's 404
+// heal, so a query-only workload converges too instead of answering 404 for
+// data the cluster holds.
+func (s *Server) healDatasetFromPeers(ctx context.Context, ds string) error {
+	c := s.cluster
+	hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	for _, p := range c.peers {
+		if p.self {
+			continue
+		}
+		if ok, _ := p.br.Allow(); !ok {
+			c.o.breakerSkips.Inc()
+			continue
+		}
+		start := time.Now()
+		info, err := p.query.Dataset(hctx, ds)
+		if err != nil {
+			// A peer's 404 is a healthy answer: it doesn't know the data set
+			// either. Keep asking the others.
+			p.br.Record(peerHealthy(err))
+			continue
+		}
+		p.br.Record(true)
+		p.lat.observe(time.Since(start).Nanoseconds())
+		cfg, err := datasetConfig(CreateDatasetRequest{
+			Name:      info.Name,
+			Algorithm: info.Algorithm,
+			NF:        info.NF,
+			P:         info.ExceedProb,
+			SBRate:    info.SBRate,
+		})
+		if err != nil {
+			return fmt.Errorf("heal data set %q from shard %d: %w", ds, p.id, err)
+		}
+		if err := s.wh.CreateDataset(ds, cfg); err != nil &&
+			!strings.Contains(err.Error(), "already exists") {
+			return fmt.Errorf("heal data set %q: %w", ds, err)
+		}
+		return nil
+	}
+	return notFound("unknown data set %q", ds)
+}
+
 // scatterMerged is the coordinator's query path: resolve the requested
 // partitions, group them by replica chain, fetch every group (hedged, with
 // failover), and merge the gathered shard samples into one uniform sample
@@ -427,7 +500,9 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	c := s.cluster
 	ctx := r.Context()
 	if _, err := s.wh.Config(ds); err != nil {
-		return nil, Coverage{}, nil, false, notFound("unknown data set %q", ds)
+		if err := s.healDatasetFromPeers(ctx, ds); err != nil {
+			return nil, Coverage{}, nil, false, err
+		}
 	}
 	c.o.scatter.Inc()
 	sp := obs.SpanFromContext(ctx).Start("scatter")
@@ -575,11 +650,13 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 
 // --- replicated ingest ---------------------------------------------------
 
-// ReplicaStatus is one replica's outcome within a coordinated ingest.
+// ReplicaStatus is one replica's outcome within a coordinated ingest or
+// roll-out.
 type ReplicaStatus struct {
 	Shard int    `json:"shard"`
 	Addr  string `json:"addr"`
-	// State is "ok", "replayed" (idempotent duplicate), "error" or
+	// State is "ok", "replayed" (ingest: idempotent duplicate), "not_found"
+	// (roll-out: the replica never held the partition), "error" or
 	// "breaker_open".
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
@@ -695,7 +772,7 @@ func (s *Server) handleIngestCluster(w http.ResponseWriter, r *http.Request) err
 			}(i)
 			continue
 		}
-		if !p.br.Allow() {
+		if ok, _ := p.br.Allow(); !ok {
 			c.o.breakerSkips.Inc()
 			c.o.forwardErrs.Inc()
 			statuses[i].State = "breaker_open"
@@ -855,10 +932,11 @@ func (s *Server) broadcastDatasetCreate(ctx context.Context, req CreateDatasetRe
 	defer cancel()
 	var wg sync.WaitGroup
 	for _, p := range c.peers {
-		if p.self || !p.br.Allow() {
-			if !p.self {
-				c.o.breakerSkips.Inc()
-			}
+		if p.self {
+			continue
+		}
+		if ok, _ := p.br.Allow(); !ok {
+			c.o.breakerSkips.Inc()
 			continue
 		}
 		wg.Add(1)
@@ -878,56 +956,90 @@ func (s *Server) broadcastDatasetCreate(ctx context.Context, req CreateDatasetRe
 	wg.Wait()
 }
 
+// notFoundErr classifies a replica roll-out failure as "the replica never
+// held the partition" — an idempotent no-op, whether it came back over the
+// wire (APIError) or from the local warehouse (httpError).
+func notFoundErr(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusNotFound
+	}
+	var he *httpError
+	return errors.As(err, &he) && he.code == http.StatusNotFound
+}
+
 // handleRollOutCluster forwards a partition roll-out to its replica set.
 // Roll-out is idempotent, so per-replica 404s are tolerated; the request
 // succeeds when at least one replica actually held (and dropped) the
-// partition.
+// partition. A replica that was skipped (breaker open) or errored still
+// holds its copy — with no anti-entropy the partition resurrects in
+// discovery once that replica recovers — so the response carries the
+// per-replica outcomes and a degraded flag telling the caller to retry the
+// roll-out until every replica reports ok or not_found.
 func (s *Server) handleRollOutCluster(w http.ResponseWriter, r *http.Request) error {
 	c := s.cluster
 	ds, part := r.PathValue("ds"), r.PathValue("part")
 	chain := c.replicas(ds, part)
-	dropped := 0
-	var firstErr error
-	var mu sync.Mutex
+	statuses := make([]ReplicaStatus, len(chain))
 	var wg sync.WaitGroup
-	for _, p := range chain {
+	for i, p := range chain {
+		statuses[i] = ReplicaStatus{Shard: p.id, Addr: p.addr}
+		if !p.self {
+			if ok, _ := p.br.Allow(); !ok {
+				c.o.breakerSkips.Inc()
+				statuses[i].State = "breaker_open"
+				statuses[i].Error = "circuit breaker open"
+				continue
+			}
+		}
 		wg.Add(1)
-		go func(p *peer) {
+		go func(i int, p *peer) {
 			defer wg.Done()
 			var err error
 			if p.self {
 				err = s.rollOutLocal(ds, part)
 			} else {
-				if !p.br.Allow() {
-					c.o.breakerSkips.Inc()
-					err = fmt.Errorf("shard %d: circuit breaker open", p.id)
-				} else {
-					err = p.ingest.rollOutForward(r.Context(), ds, part)
-					p.br.Record(err == nil || peerHealthy(err))
-				}
+				err = p.ingest.rollOutForward(r.Context(), ds, part)
+				p.br.Record(err == nil || peerHealthy(err))
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err == nil {
-				dropped++
-				return
+			switch {
+			case err == nil:
+				statuses[i].State = "ok"
+			case notFoundErr(err):
+				statuses[i].State = "not_found"
+			default:
+				statuses[i].State = "error"
+				statuses[i].Error = err.Error()
 			}
-			var ae *APIError
-			if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
-				return // the replica never had it; idempotent no-op
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
-		}(p)
+		}(i, p)
 	}
 	wg.Wait()
+
+	dropped, degraded := 0, false
+	firstErr := ""
+	for _, st := range statuses {
+		switch st.State {
+		case "ok":
+			dropped++
+		case "error", "breaker_open":
+			degraded = true
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("shard %d: %s", st.Shard, st.Error)
+			}
+		}
+	}
 	if dropped == 0 {
-		if firstErr != nil {
-			return badGateway("rollout %s/%s: %v", ds, part, firstErr)
+		if firstErr != "" {
+			return badGateway("rollout %s/%s: %s", ds, part, firstErr)
 		}
 		return notFound("partition %s/%s not found", ds, part)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
+	writeJSON(w, http.StatusOK, RollOutResponse{
+		Dataset:   ds,
+		Partition: part,
+		Status:    "rolled out",
+		Replicas:  statuses,
+		Degraded:  degraded,
+	})
 	return nil
 }

@@ -81,6 +81,20 @@ type IngestResponse struct {
 	Degraded  bool            `json:"degraded,omitempty"`
 }
 
+// RollOutResponse is the DELETE partition body. In cluster mode the
+// coordinator adds the per-replica outcomes; Degraded marks a roll-out some
+// replica did not apply (breaker-open or errored) — that replica still holds
+// its copy, and with no anti-entropy the partition resurrects in discovery
+// once it recovers, so callers should retry until every replica reports ok
+// or not_found.
+type RollOutResponse struct {
+	Dataset   string          `json:"dataset"`
+	Partition string          `json:"partition"`
+	Status    string          `json:"status"` // "rolled out"
+	Replicas  []ReplicaStatus `json:"replicas,omitempty"`
+	Degraded  bool            `json:"degraded,omitempty"`
+}
+
 // SampleMeta summarizes a (merged) sample without its values.
 type SampleMeta struct {
 	Kind       string  `json:"kind"`
@@ -311,18 +325,14 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) error
 	return nil
 }
 
-func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) error {
-	var req CreateDatasetRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		return badRequest("bad create body: %v", err)
+// datasetConfig resolves a CreateDatasetRequest into the warehouse config,
+// applying the API defaults (NF 8192, SB rate 0.01).
+func datasetConfig(req CreateDatasetRequest) (warehouse.DatasetConfig, error) {
+	nf := req.NF
+	if nf == 0 {
+		nf = 8192
 	}
-	if req.Name == "" {
-		return badRequest("create: name required")
-	}
-	if req.NF == 0 {
-		req.NF = 8192
-	}
-	cc := core.ConfigForNF(req.NF)
+	cc := core.ConfigForNF(nf)
 	if req.P != 0 {
 		cc.ExceedProb = req.P
 	}
@@ -338,7 +348,25 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) err
 			cfg.SBRate = 0.01
 		}
 	default:
-		return badRequest("create: unknown algorithm %q (want HR, HB or SB)", req.Algorithm)
+		return cfg, badRequest("create: unknown algorithm %q (want HR, HB or SB)", req.Algorithm)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) error {
+	var req CreateDatasetRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		return badRequest("bad create body: %v", err)
+	}
+	if req.Name == "" {
+		return badRequest("create: name required")
+	}
+	if req.NF == 0 {
+		req.NF = 8192
+	}
+	cfg, err := datasetConfig(req)
+	if err != nil {
+		return err
 	}
 	if err := s.wh.CreateDataset(req.Name, cfg); err != nil {
 		if strings.Contains(err.Error(), "already exists") {
@@ -563,7 +591,7 @@ func (s *Server) handleRollOut(w http.ResponseWriter, r *http.Request) error {
 	if err := s.rollOutLocal(ds, part); err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"dataset": ds, "partition": part, "status": "rolled out"})
+	writeJSON(w, http.StatusOK, RollOutResponse{Dataset: ds, Partition: part, Status: "rolled out"})
 	return nil
 }
 
