@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
+.PHONY: check fmt vet build test bench bench-query bench-plan bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
 
 check: fmt vet build test
 
@@ -30,6 +30,11 @@ bench:
 # parallelism at 64 partitions, written to BENCH_query.json.
 bench-query:
 	go run ./cmd/swbench -exp querypath -qparts 16,64 -qworkers 1,4,16 -json BENCH_query.json
+
+# Bounded-query benchmark (DESIGN.md §14): maxerr ladder over a file-backed
+# warehouse; partitions loaded and latency must fall as the bound loosens.
+bench-plan:
+	go run ./cmd/swbench -exp plan -pparts 32 -pmaxerr 0.05,0.1,0.2,0.3 -json BENCH_plan.json
 
 # Serving-layer benchmark (DESIGN.md §10): closed-loop client ladder against
 # a live loopback server — latency quantiles and shed rate per client count,

@@ -69,7 +69,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, serve, cluster, chaos, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, plan, serve, cluster, chaos, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -95,6 +95,8 @@ func main() {
 		cbatch      = flag.Int("cbatch", 2000, "chaos experiment: values per ingest batch")
 		cuptime     = flag.Duration("cuptime", 150*time.Millisecond, "chaos experiment: daemon uptime between kills")
 		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
+		pparts      = flag.Int("pparts", 32, "plan experiment: partition count")
+		pmaxerr     = flag.String("pmaxerr", "0.05,0.1,0.2,0.3", "plan experiment: comma-separated maxerr ladder, loosest last")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
 	)
@@ -191,6 +193,9 @@ func main() {
 		case "faults":
 			r, err := experiments.FaultTolerance(*faultRate, *faultCrpt, 16, opt)
 			return emit(name, r, err)
+		case "plan":
+			r, err := experiments.Plan(*pparts, parseFloats(*pmaxerr), opt)
+			return emit(name, r, err)
 		case "querypath":
 			r, err := experiments.QueryPath(parseInts(*qparts), parseInts(*qworkers), opt)
 			return emit(name, r, err)
@@ -255,6 +260,22 @@ func main() {
 }
 
 // parseInts parses a comma-separated integer list; empty input gives nil.
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: bad float %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func parseInts(s string) []int {
 	if s == "" {
 		return nil

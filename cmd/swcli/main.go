@@ -143,7 +143,9 @@ commands:
   fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog,
            check wal/ segments for torn tails and orphans)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
-           [-confidence 0.95] [-explain] [-json]   (against a running swd; no -dir needed)
+           [-confidence 0.95] [-maxerr E] [-maxtime D] [-explain] [-json]
+           (against a running swd; no -dir needed. -maxerr/-maxtime bound the
+           merge: the server loads partitions in plan order and stops early)
   slowlog  -addr URL [-json]   (a running swd's slow-query log with span trees)
   cluster  status -addr URL [-json]   (a cluster node's membership, breaker and
            placement view via GET /clusterz)`)
@@ -768,11 +770,16 @@ func query(args []string) error {
 	strict := fs.Bool("strict", false, "fail instead of degrading when a partition is unreadable")
 	timeout := fs.Duration("timeout", 0, "server-side deadline (0 = server default)")
 	confidence := fs.Float64("confidence", 0, "confidence level (0 = server default 0.95)")
+	maxErr := fs.Float64("maxerr", 0, "error bound: stop merging once the interval half-width meets it (count:/fraction: queries)")
+	maxTime := fs.Duration("maxtime", 0, "time bound: answer from whatever merged within the budget")
 	explain := fs.Bool("explain", false, "ask the server for the request's span tree and print it")
 	asJSON := fs.Bool("json", false, "print the raw JSON response")
 	fs.Parse(args)
 	if *q != "" && *ds == "" {
 		return fmt.Errorf("query: -q requires -ds")
+	}
+	if (*maxErr > 0 || *maxTime > 0) && *q == "" {
+		return fmt.Errorf("query: -maxerr/-maxtime require -q")
 	}
 
 	cl := server.NewClient(*addr, nil)
@@ -784,7 +791,8 @@ func query(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout+5*time.Second)
 		defer cancel()
 	}
-	opts := server.QueryOpts{Strict: *strict, Timeout: *timeout, Confidence: *confidence, Explain: *explain}
+	opts := server.QueryOpts{Strict: *strict, Timeout: *timeout, Confidence: *confidence,
+		MaxErr: *maxErr, MaxTime: *maxTime, Explain: *explain}
 	if *part != "" {
 		for _, p := range strings.Split(*part, ",") {
 			opts.Parts = append(opts.Parts, strings.TrimSpace(p))
@@ -830,6 +838,14 @@ func query(args []string) error {
 		if err != nil {
 			return err
 		}
+		// -strict also rejects a degraded answer the server chose to return
+		// anyway (a cluster coordinator degrades instead of failing when
+		// discovery was blind); the non-zero exit is the contract scripts
+		// depend on. Planner-pruned partitions are not degradation.
+		if *strict && resp.Degraded {
+			return fmt.Errorf("query: degraded answer under -strict: merged %d/%d partitions (skipped %d)",
+				len(resp.Coverage.Merged), len(resp.Coverage.Requested), len(resp.Coverage.Skipped))
+		}
 		if *asJSON {
 			return printJSON(resp)
 		}
@@ -854,6 +870,20 @@ func query(args []string) error {
 		fmt.Printf("sample: %s of %d values (parent %d, fraction %.6f); served in %.2fms\n",
 			resp.Sample.Kind, resp.Sample.Size, resp.Sample.ParentSize, resp.Sample.Fraction,
 			float64(resp.ElapsedNS)/1e6)
+		if p := resp.Plan; p != nil {
+			fmt.Printf("plan: loaded %d/%d partitions (pruned %d, stop=%s)",
+				p.Loaded, p.Partitions, p.Pruned, p.StopReason)
+			if p.AchievedHalfWidth >= 0 {
+				fmt.Printf("; half-width %.4g", p.AchievedHalfWidth)
+				if p.MaxErr > 0 {
+					fmt.Printf(" (bound %g)", p.MaxErr)
+				}
+			}
+			if p.TotalPopulation > 0 {
+				fmt.Printf("; covered %d/%d values", p.CoveredPopulation, p.TotalPopulation)
+			}
+			fmt.Println()
+		}
 		if resp.Coverage.Partial {
 			fmt.Printf("WARNING: partial answer — merged %d/%d partitions", len(resp.Coverage.Merged), len(resp.Coverage.Requested))
 			for _, sk := range resp.Coverage.Skipped {

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// known builds a fully-known PartitionStat with the given id, population and
+// predicted-cost inputs.
+func known(id string, pop, footprint, loadNS int64, cached bool) PartitionStat {
+	return PartitionStat{
+		ID:         id,
+		SampleSize: 256,
+		ParentSize: pop,
+		Footprint:  footprint,
+		Cached:     cached,
+		LoadNS:     loadNS,
+		Known:      true,
+	}
+}
+
+func order(p QueryPlan) []string {
+	out := make([]string, len(p.Steps))
+	for i, st := range p.Steps {
+		out[i] = st.Stat.ID
+	}
+	return out
+}
+
+func TestBuildRanking(t *testing.T) {
+	stats := []PartitionStat{
+		known("slow-big", 4000, 1000, 8_000_000, false),   // 0.5 pop/ns-ish
+		known("fast-small", 1000, 1000, 1_000_000, false), // 1.0 pop/ns
+		known("cached", 500, 1000, 5_000_000, true),       // free: cache-resident
+		{ID: "mystery", Known: false, Footprint: 1000},    // no registry entry
+		known("fast-big", 8000, 1000, 2_000_000, false),   // 4.0 pop/ns — best loadable
+	}
+	p := Build(stats, Bounds{MaxTime: time.Second}, Config{})
+	want := []string{"mystery", "cached", "fast-big", "fast-small", "slow-big"}
+	if got := order(p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("plan order %v, want %v", got, want)
+	}
+	if p.Unknown != 1 {
+		t.Fatalf("unknown = %d, want 1", p.Unknown)
+	}
+	// TotalPop counts only known partitions: the mystery one contributes
+	// after the executor measures it.
+	if p.TotalPop != 4000+1000+500+8000 {
+		t.Fatalf("total pop = %d", p.TotalPop)
+	}
+	if p.Steps[1].CostNS != 0 {
+		t.Fatalf("cached step predicted cost %d, want 0", p.Steps[1].CostNS)
+	}
+}
+
+func TestBuildDeterministicAndTiesById(t *testing.T) {
+	// Identical statistics everywhere: ranking must fall back to ID order,
+	// and repeated builds must agree exactly.
+	stats := []PartitionStat{
+		known("p03", 1000, 512, 0, false),
+		known("p01", 1000, 512, 0, false),
+		known("p02", 1000, 512, 0, false),
+		known("p00", 1000, 512, 0, false),
+	}
+	first := Build(stats, Bounds{MaxErr: 0.2}, Config{})
+	want := []string{"p00", "p01", "p02", "p03"}
+	if got := order(first); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-break order %v, want %v", got, want)
+	}
+	for i := 0; i < 5; i++ {
+		if again := Build(stats, Bounds{MaxErr: 0.2}, Config{}); !reflect.DeepEqual(again, first) {
+			t.Fatalf("rebuild %d differs: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestBuildPredictedStop(t *testing.T) {
+	// 8 equal partitions, nf 256, pop 1000 each. The proxy half-width after k
+	// partitions is dominated by the uncovered term (1-k/8)/2, so loosening
+	// maxerr must move the predicted stop earlier, monotonically.
+	stats := make([]PartitionStat, 8)
+	for i := range stats {
+		stats[i] = known(string(rune('a'+i)), 1000, 512, 0, false)
+	}
+	prev := 0
+	for _, maxerr := range []float64{0.5, 0.3, 0.2, 0.1} {
+		p := Build(stats, Bounds{MaxErr: maxerr}, Config{})
+		if p.PredictedStop < 1 || p.PredictedStop > len(stats) {
+			t.Fatalf("maxerr %v: predicted stop %d out of range", maxerr, p.PredictedStop)
+		}
+		if prev != 0 && p.PredictedStop < prev {
+			t.Fatalf("tightening maxerr to %v moved the stop earlier (%d < %d)", maxerr, p.PredictedStop, prev)
+		}
+		prev = p.PredictedStop
+		var pop, ns int64
+		for _, st := range p.Steps[:p.PredictedStop] {
+			pop += st.Stat.ParentSize
+			ns += st.CostNS
+		}
+		if p.PredictedPop != pop || p.PredictedNS != ns {
+			t.Fatalf("maxerr %v: predicted pop/ns %d/%d, want %d/%d (stop %d)",
+				maxerr, p.PredictedPop, p.PredictedNS, pop, ns, p.PredictedStop)
+		}
+	}
+	// A loose bound must prune; a bound below the full-coverage floor cannot
+	// be predicted met and the plan covers everything.
+	if p := Build(stats, Bounds{MaxErr: 0.5}, Config{}); p.PredictedStop >= len(stats) {
+		t.Fatalf("maxerr 0.5 predicted no pruning: stop %d", p.PredictedStop)
+	}
+	p := Build(stats, Bounds{MaxErr: 0.01}, Config{})
+	if p.PredictedStop != len(stats) || p.PredictedPop != p.TotalPop {
+		t.Fatalf("unachievable maxerr: stop %d pop %d, want full plan", p.PredictedStop, p.PredictedPop)
+	}
+}
+
+func TestBuildUnknownStatsDisablePrediction(t *testing.T) {
+	stats := []PartitionStat{
+		known("a", 1000, 512, 0, false),
+		known("b", 1000, 512, 0, false),
+		{ID: "z", Known: false},
+	}
+	p := Build(stats, Bounds{MaxErr: 0.49}, Config{})
+	// With an unmeasured partition the total population is unknown, so no
+	// stop point can honestly be predicted.
+	if p.PredictedStop != len(stats) {
+		t.Fatalf("predicted stop %d with unknown stats, want %d", p.PredictedStop, len(stats))
+	}
+	if order(p)[0] != "z" {
+		t.Fatalf("unknown partition not planned first: %v", order(p))
+	}
+}
+
+func TestNeededFrom(t *testing.T) {
+	stats := make([]PartitionStat, 8)
+	for i := range stats {
+		stats[i] = known(string(rune('a'+i)), 1000, 512, 0, false)
+	}
+	const z = 1.959963984540054
+	p := Build(stats, Bounds{MaxErr: 0.2}, Config{})
+
+	// From a cold start the prediction matches the plan's own stop point.
+	if got := p.NeededFrom(0, 0, 0, z); got != p.PredictedStop {
+		t.Fatalf("NeededFrom(0) = %d, want %d", got, p.PredictedStop)
+	}
+	// Partway through, fewer steps remain to be folded.
+	mid := p.PredictedStop - 1
+	if got := p.NeededFrom(mid, 256, int64(mid)*1000, z); got != 1 {
+		t.Fatalf("NeededFrom one step before the stop = %d, want 1", got)
+	}
+	// Past the end: nothing left.
+	if got := p.NeededFrom(len(p.Steps), 256, 8000, z); got != 0 {
+		t.Fatalf("NeededFrom(end) = %d, want 0", got)
+	}
+	// No error bound: everything remaining is needed.
+	full := Build(stats, Bounds{MaxTime: time.Second}, Config{})
+	if got := full.NeededFrom(2, 256, 2000, z); got != len(stats)-2 {
+		t.Fatalf("NeededFrom without maxerr = %d, want %d", got, len(stats)-2)
+	}
+	// Unachievable bound: the executor still gets the full remainder.
+	tight := Build(stats, Bounds{MaxErr: 0.001}, Config{})
+	if got := tight.NeededFrom(0, 0, 0, z); got != len(stats) {
+		t.Fatalf("NeededFrom under unachievable bound = %d, want %d", got, len(stats))
+	}
+}
+
+func TestCostCalibration(t *testing.T) {
+	// Two measured partitions establish 1000 ns/byte; the unmeasured one's
+	// cost must be extrapolated from its footprint.
+	stats := []PartitionStat{
+		known("m1", 1000, 100, 100_000, false),
+		known("m2", 1000, 300, 300_000, false),
+		known("u", 1000, 200, 0, false),
+	}
+	p := Build(stats, Bounds{MaxTime: time.Second}, Config{})
+	for _, st := range p.Steps {
+		if st.Stat.ID == "u" && st.CostNS != 200_000 {
+			t.Fatalf("extrapolated cost %d, want 200000", st.CostNS)
+		}
+	}
+	// With no EWMA anywhere the footprint stands in as the relative cost.
+	raw := []PartitionStat{known("a", 1000, 512, 0, false)}
+	if p := Build(raw, Bounds{MaxTime: time.Second}, Config{}); p.Steps[0].CostNS != 512 {
+		t.Fatalf("fallback cost %d, want footprint 512", p.Steps[0].CostNS)
+	}
+}
+
+func TestBoundsBounded(t *testing.T) {
+	if (Bounds{}).Bounded() {
+		t.Fatal("zero bounds reported bounded")
+	}
+	if !(Bounds{MaxErr: 0.1}).Bounded() || !(Bounds{MaxTime: time.Millisecond}).Bounded() {
+		t.Fatal("set bounds reported unbounded")
+	}
+}

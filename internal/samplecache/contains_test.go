@@ -1,0 +1,41 @@
+package samplecache
+
+import "testing"
+
+// TestContainsDoesNotPromote pins the planner's residency probe contract:
+// Contains must not touch LRU order or the hit/miss counters, or planning a
+// query would perturb the very cache state the plan ranks on.
+func TestContainsDoesNotPromote(t *testing.T) {
+	c := New[int64](32) // room for four 8-byte singletons
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(k, sampleWith(1))
+	}
+	if !c.Contains("a") || c.Contains("ghost") {
+		t.Fatal("Contains misreports residency")
+	}
+	base := c.Stats()
+	// Probe "a" repeatedly; if Contains promoted, "a" would be MRU and "b"
+	// would be evicted by the overflow below.
+	for i := 0; i < 8; i++ {
+		c.Contains("a")
+	}
+	if st := c.Stats(); st.Hits != base.Hits || st.Misses != base.Misses {
+		t.Fatalf("Contains moved the hit/miss counters: %+v vs %+v", st, base)
+	}
+	c.Put("e", sampleWith(1))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived the overflow: Contains promoted it in LRU order")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted: Contains perturbed LRU order")
+	}
+}
+
+// TestNilCacheContains covers the disabled-cache path the loader takes when
+// no read cache is configured.
+func TestNilCacheContains(t *testing.T) {
+	var c *Cache[int64]
+	if c.Contains("a") {
+		t.Fatal("nil cache claims residency")
+	}
+}

@@ -108,6 +108,20 @@ func (c *Cache[V]) GetWithAge(key string) (*core.Sample[V], time.Duration, bool)
 	return e.s, time.Since(e.inserted), true
 }
 
+// Contains reports cache residency without touching the LRU order or the
+// hit/miss counters — the planner's probe (DESIGN.md §14): asking "would this
+// partition be free to load?" must not promote the entry or skew the ratios
+// that describe actual read traffic. Safe on nil (never resident).
+func (c *Cache[V]) Contains(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Put inserts s under key, taking ownership of s (callers must not mutate it
 // afterwards). An existing entry for key is replaced. Entries are evicted
 // least-recently-used until the budget holds; a sample larger than the whole

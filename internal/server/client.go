@@ -371,6 +371,16 @@ type QueryOpts struct {
 	Confidence float64
 	// Limit caps the value entries of a Sample response (-0 = all).
 	Limit int
+	// MaxErr asks for a bounded query (?maxerr=): the server stops merging
+	// partitions once the answer's fraction-scale confidence half-width,
+	// relative to the full requested population, is at most this bound.
+	// Estimate supports it for count: and fraction: queries only; Sample uses
+	// a query-agnostic worst-case width.
+	MaxErr float64
+	// MaxTime bounds the server-side merge time (?maxtime=): the executor
+	// stops starting new partition loads once the budget is about to run out
+	// and answers from what it merged so far.
+	MaxTime time.Duration
 	// Explain asks the server for the request's span tree (?explain=1),
 	// populating the response's TraceID and Trace fields.
 	Explain bool
@@ -396,6 +406,12 @@ func (o QueryOpts) values() url.Values {
 	}
 	if o.Limit > 0 {
 		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	if o.MaxErr > 0 {
+		q.Set("maxerr", strconv.FormatFloat(o.MaxErr, 'g', -1, 64))
+	}
+	if o.MaxTime > 0 {
+		q.Set("maxtime", o.MaxTime.String())
 	}
 	if o.Explain {
 		q.Set("explain", "1")

@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"samplewh/internal/core"
+	"samplewh/internal/estimate"
 	"samplewh/internal/histogram"
 	"samplewh/internal/obs"
+	"samplewh/internal/plan"
 	"samplewh/internal/randx"
 	"samplewh/internal/warehouse"
 )
@@ -194,6 +196,11 @@ type groupResult struct {
 	smp     *core.Sample[int64]
 	merged  []string
 	skipped []warehouse.SkippedPartition
+	// pruned and plan carry the shard's bounded-query outcome (nil/empty on
+	// unbounded scatters): partitions its planner never loaded, and its local
+	// plan accounting for the coordinator to aggregate.
+	pruned []string
+	plan   *PlanInfo
 }
 
 // attemptOut is one replica attempt's outcome inside a group fetch.
@@ -210,7 +217,13 @@ type attemptOut struct {
 // partitions: the self peer merges straight from the local warehouse, remote
 // peers serve GET sample?local=1 (which also forwards the trace ID, so both
 // legs of a hedged pair join the same trace).
-func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []string, hedged bool) attemptOut {
+//
+// Bounded queries propagate their error budget to every leg: each shard
+// plans its own group's partitions and stops when its local proxy half-width
+// meets maxerr, so early stopping happens where the partitions live instead
+// of after the network round-trip. Remote legs get ~90% of the time budget,
+// holding back a slice for the wire and the coordinator merge.
+func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []string, hedged bool, bounds plan.Bounds, confidence float64) attemptOut {
 	out := attemptOut{p: p, hedged: hedged}
 	start := time.Now()
 	sp := obs.SpanFromContext(ctx).Start("shard_fetch")
@@ -224,16 +237,29 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 		sp.End()
 	}()
 	if p.self {
-		smp, cov, err := s.wh.MergedSamplePartialContext(ctx, ds, parts...)
+		// Zero bounds delegate to the plain partial merge, keeping the
+		// unbounded scatter byte-identical to the pre-planner path.
+		pq := warehouse.PlannedQuery[int64]{Bounds: bounds, Confidence: confidence}
+		if bounds.MaxErr > 0 {
+			pq.HalfWidth = proxyEvaluator(confidence)
+		}
+		smp, cov, exec, err := s.wh.MergedSamplePlanned(ctx, ds, parts, true, pq)
 		out.elapsed = time.Since(start)
 		if err != nil {
 			out.err = err
 			return out
 		}
-		out.res = groupResult{smp: smp, merged: cov.Merged, skipped: cov.Skipped}
+		out.res = groupResult{smp: smp, merged: cov.Merged, skipped: cov.Skipped,
+			pruned: cov.Pruned, plan: planInfo(bounds, exec)}
 		return out
 	}
-	resp, err := p.query.Sample(ctx, ds, QueryOpts{Parts: parts, Local: true})
+	opts := QueryOpts{Parts: parts, Local: true}
+	if bounds.Bounded() {
+		opts.MaxErr = bounds.MaxErr
+		opts.MaxTime = bounds.MaxTime * 9 / 10
+		opts.Confidence = confidence
+	}
+	resp, err := p.query.Sample(ctx, ds, opts)
 	out.elapsed = time.Since(start)
 	if err != nil {
 		out.err = err
@@ -250,7 +276,8 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 		out.err = fmt.Errorf("shard %d: %w", p.id, err)
 		return out
 	}
-	res := groupResult{smp: smp, merged: resp.Coverage.Merged}
+	res := groupResult{smp: smp, merged: resp.Coverage.Merged,
+		pruned: resp.Coverage.Pruned, plan: resp.Plan}
 	for _, sk := range resp.Coverage.Skipped {
 		res.skipped = append(res.skipped, warehouse.SkippedPartition{ID: sk.ID, Reason: sk.Reason})
 	}
@@ -264,7 +291,7 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 // context is canceled); a failed attempt fails over to the next replica
 // immediately. Peers behind an open breaker are skipped without spending
 // any deadline budget.
-func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chain []*peer, agg *shardAgg) (groupResult, error) {
+func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chain []*peer, agg *shardAgg, bounds plan.Bounds, confidence float64) (groupResult, error) {
 	c := s.cluster
 	results := make(chan attemptOut, len(chain))
 	gctx, gcancel := context.WithCancel(ctx)
@@ -297,7 +324,7 @@ func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chai
 					probes[p] = true
 				}
 			}
-			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged) }()
+			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged, bounds, confidence) }()
 			return p
 		}
 		return nil
@@ -496,12 +523,19 @@ func (s *Server) healDatasetFromPeers(ctx context.Context, ds string) error {
 // of the covered union — the top of the paper's merge tree, run across the
 // network. The returned coverage names every partition a dead or slow shard
 // cost us; the bool is the response's degraded flag.
-func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial bool) (*core.Sample[int64], Coverage, []ShardStatus, bool, error) {
+//
+// With bounds set the scatter becomes a bounded query: every shard prunes
+// its own group under the propagated budget and the returned PlanInfo sums
+// the per-shard plans. The achieved half-width is recomputed from the final
+// merged sample and reported honestly — it can exceed maxerr even when every
+// shard met it locally, because the cross-shard merge subsamples down to one
+// partition's sample size while the covered population grows.
+func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial bool, bounds plan.Bounds, confidence float64) (*core.Sample[int64], Coverage, []ShardStatus, bool, *PlanInfo, error) {
 	c := s.cluster
 	ctx := r.Context()
 	if _, err := s.wh.Config(ds); err != nil {
 		if err := s.healDatasetFromPeers(ctx, ds); err != nil {
-			return nil, Coverage{}, nil, false, err
+			return nil, Coverage{}, nil, false, nil, err
 		}
 	}
 	c.o.scatter.Inc()
@@ -521,20 +555,20 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		var failed int
 		requested, failed, err = s.listPartitions(ctx, ds, agg)
 		if err != nil {
-			return nil, Coverage{}, nil, false, err
+			return nil, Coverage{}, nil, false, nil, err
 		}
 		blind = failed >= c.cfg.Replication
 	} else {
 		seen := make(map[string]bool, len(requested))
 		for _, id := range requested {
 			if seen[id] {
-				return nil, Coverage{}, nil, false, badRequest("duplicate partition %q in parts", id)
+				return nil, Coverage{}, nil, false, nil, badRequest("duplicate partition %q in parts", id)
 			}
 			seen[id] = true
 		}
 	}
 	if len(requested) == 0 {
-		return nil, Coverage{}, agg.list(), len(agg.list()) > 0, notFound("data set %q has no partitions", ds)
+		return nil, Coverage{}, agg.list(), len(agg.list()) > 0, nil, notFound("data set %q has no partitions", ds)
 	}
 
 	// Group partitions by their (identical) replica chains so one request
@@ -590,7 +624,7 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		wg.Add(1)
 		go func(i int, g *group) {
 			defer wg.Done()
-			res, err := s.fetchGroup(fctx, ds, g.parts, g.chain, agg)
+			res, err := s.fetchGroup(fctx, ds, g.parts, g.chain, agg, bounds, confidence)
 			outs[i] = fetchOut{g: g, res: res, err: err}
 		}(i, g)
 	}
@@ -611,12 +645,42 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		}
 		cov.Merged = append(cov.Merged, out.res.merged...)
 		cov.Skipped = append(cov.Skipped, out.res.skipped...)
+		cov.Pruned = append(cov.Pruned, out.res.pruned...)
 		if out.res.smp != nil {
 			samples = append(samples, out.res.smp)
 		}
 	}
 	sort.Strings(cov.Merged)
+	sort.Strings(cov.Pruned)
 	sort.Slice(cov.Skipped, func(i, j int) bool { return cov.Skipped[i].ID < cov.Skipped[j].ID })
+
+	// Bounded scatters report the summed shard plans. A shard that stopped
+	// early decides the aggregate stop reason: "maxerr" wins over "maxtime"
+	// wins over "exhausted" (any early stop means the bounds did real work).
+	var pinfo *PlanInfo
+	if bounds.Bounded() {
+		pinfo = &PlanInfo{MaxErr: bounds.MaxErr, MaxTimeNS: int64(bounds.MaxTime),
+			StopReason: "exhausted", AchievedHalfWidth: -1}
+		for _, out := range outs {
+			pi := out.res.plan
+			if out.err != nil || pi == nil {
+				continue
+			}
+			pinfo.Partitions += pi.Partitions
+			pinfo.PredictedStop += pi.PredictedStop
+			pinfo.Loaded += pi.Loaded
+			pinfo.Pruned += pi.Pruned
+			pinfo.TotalPopulation += pi.TotalPopulation
+			switch pi.StopReason {
+			case "maxerr":
+				pinfo.StopReason = "maxerr"
+			case "maxtime":
+				if pinfo.StopReason != "maxerr" {
+					pinfo.StopReason = "maxtime"
+				}
+			}
+		}
+	}
 
 	shards := agg.list()
 	degraded := cov.Partial() || blind
@@ -625,16 +689,16 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	}
 	if !partial && degraded {
 		if len(cov.Skipped) > 0 {
-			return nil, Coverage{}, shards, degraded,
+			return nil, Coverage{}, shards, degraded, nil,
 				badGateway("strict merge: %d of %d requested partitions unavailable (first: %s: %s)",
 					len(cov.Skipped), len(requested), cov.Skipped[0].ID, cov.Skipped[0].Reason)
 		}
-		return nil, Coverage{}, shards, degraded,
+		return nil, Coverage{}, shards, degraded, nil,
 			badGateway("strict merge: partition discovery incomplete (unreachable peers >= replication factor %d)",
 				c.cfg.Replication)
 	}
 	if len(samples) == 0 {
-		return nil, Coverage{}, shards, degraded,
+		return nil, Coverage{}, shards, degraded, nil,
 			badGateway("no shard reachable for any requested partition of %q", ds)
 	}
 	rng := randx.New(c.cfg.Seed ^ hashString(ds))
@@ -642,10 +706,17 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	for _, smp := range samples[1:] {
 		merged, err = core.Merge(merged, smp, rng)
 		if err != nil {
-			return nil, Coverage{}, shards, degraded, fmt.Errorf("coordinator merge: %w", err)
+			return nil, Coverage{}, shards, degraded, nil, fmt.Errorf("coordinator merge: %w", err)
 		}
 	}
-	return merged, coverage(cov), shards, degraded, nil
+	if pinfo != nil {
+		pinfo.CoveredPopulation = merged.ParentSize
+		if hw, herr := estimate.ProxyHalfWidth(merged.Size(), merged.ParentSize,
+			pinfo.TotalPopulation, confidence); herr == nil {
+			pinfo.AchievedHalfWidth = hw
+		}
+	}
+	return merged, coverage(cov), shards, degraded, pinfo, nil
 }
 
 // --- replicated ingest ---------------------------------------------------

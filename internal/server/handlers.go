@@ -15,6 +15,7 @@ import (
 	"samplewh/internal/core"
 	"samplewh/internal/estimate"
 	"samplewh/internal/obs"
+	"samplewh/internal/plan"
 	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
@@ -129,15 +130,64 @@ type Coverage struct {
 	Requested []string           `json:"requested"`
 	Merged    []string           `json:"merged"`
 	Skipped   []SkippedPartition `json:"skipped,omitempty"`
-	Partial   bool               `json:"partial"`
+	// Pruned lists partitions a bounded query's planner never loaded: the
+	// error or time bound was met without them. Unlike Skipped they do not
+	// make the answer degraded — it is exactly as partial as the caller's
+	// ?maxerr=/?maxtime= allowed.
+	Pruned  []string `json:"pruned,omitempty"`
+	Partial bool     `json:"partial"`
 }
 
 func coverage(cov warehouse.MergeCoverage) Coverage {
-	out := Coverage{Requested: cov.Requested, Merged: cov.Merged, Partial: cov.Partial()}
+	out := Coverage{Requested: cov.Requested, Merged: cov.Merged,
+		Pruned: cov.Pruned, Partial: cov.Partial()}
 	for _, sk := range cov.Skipped {
 		out.Skipped = append(out.Skipped, SkippedPartition{ID: sk.ID, Reason: sk.Reason})
 	}
 	return out
+}
+
+// PlanInfo surfaces a bounded query's chosen plan and early-stop decision
+// (?maxerr= / ?maxtime=; see DESIGN.md §14).
+type PlanInfo struct {
+	// MaxErr and MaxTimeNS echo the request's bounds.
+	MaxErr    float64 `json:"max_err,omitempty"`
+	MaxTimeNS int64   `json:"max_time_ns,omitempty"`
+	// Partitions is the plan length; PredictedStop is the planner's up-front
+	// guess at how many partitions the error bound needs (0 = no prediction).
+	Partitions    int `json:"partitions"`
+	PredictedStop int `json:"predicted_stop,omitempty"`
+	// Loaded and Pruned count partitions fetched versus never touched; a
+	// bounded query's whole point is Loaded < Partitions.
+	Loaded int `json:"loaded"`
+	Pruned int `json:"pruned"`
+	// StopReason is "maxerr" (bound met with partitions to spare), "maxtime"
+	// (budget exhausted) or "exhausted" (the full plan ran).
+	StopReason string `json:"stop_reason"`
+	// AchievedHalfWidth is the answer's fraction-scale confidence half-width
+	// relative to the full requested population (-1 when not computable).
+	AchievedHalfWidth float64 `json:"achieved_half_width"`
+	CoveredPopulation int64   `json:"covered_population"`
+	TotalPopulation   int64   `json:"total_population"`
+}
+
+// planInfo converts a warehouse plan execution to its wire form.
+func planInfo(b plan.Bounds, exec *warehouse.PlanExecution) *PlanInfo {
+	if exec == nil {
+		return nil
+	}
+	return &PlanInfo{
+		MaxErr:            b.MaxErr,
+		MaxTimeNS:         int64(b.MaxTime),
+		Partitions:        len(exec.Plan.Steps),
+		PredictedStop:     exec.Plan.PredictedStop,
+		Loaded:            exec.Loaded,
+		Pruned:            len(exec.Plan.Steps) - exec.Loaded,
+		StopReason:        exec.StopReason,
+		AchievedHalfWidth: exec.AchievedHalfWidth,
+		CoveredPopulation: exec.CoveredPop,
+		TotalPopulation:   exec.TotalPop,
+	}
 }
 
 // ValueCount is one histogram entry of a returned sample.
@@ -159,6 +209,9 @@ type SampleResponse struct {
 	// a cluster coordinator assembled the answer.
 	Degraded bool          `json:"degraded,omitempty"`
 	Shards   []ShardStatus `json:"shards,omitempty"`
+	// Plan is set on bounded queries (?maxerr=/?maxtime=): the chosen plan
+	// and the early-stop decision.
+	Plan *PlanInfo `json:"plan,omitempty"`
 	// TraceID and Trace are populated by ?explain=1: the request's span tree
 	// as of response assembly (the query EXPLAIN ANALYZE).
 	TraceID string            `json:"trace_id,omitempty"`
@@ -190,9 +243,12 @@ type EstimateResponse struct {
 	// partitions than requested (its intervals are honest but wider).
 	// Shards carries the per-shard outcomes when a cluster coordinator
 	// assembled the answer.
-	Degraded  bool          `json:"degraded,omitempty"`
-	Shards    []ShardStatus `json:"shards,omitempty"`
-	ElapsedNS int64         `json:"elapsed_ns"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Shards   []ShardStatus `json:"shards,omitempty"`
+	// Plan is set on bounded queries (?maxerr=/?maxtime=): the chosen plan
+	// and the early-stop decision.
+	Plan      *PlanInfo `json:"plan,omitempty"`
+	ElapsedNS int64     `json:"elapsed_ns"`
 	// TraceID and Trace are populated by ?explain=1: the request's span tree
 	// as of response assembly (the query EXPLAIN ANALYZE). The top-level
 	// child spans — admission_wait, load, merge, estimate — partition the
@@ -639,6 +695,74 @@ func mergeParams(r *http.Request) (ids []string, partial bool, err error) {
 	return ids, partial, nil
 }
 
+// boundsParams parses the bounded-query knobs: ?maxerr= (a fraction-scale
+// confidence half-width target in (0,1)) and ?maxtime= (a Go duration the
+// merge may spend). Either engages the planner; absent both, the query runs
+// the ordinary full-merge path unchanged.
+func boundsParams(r *http.Request) (plan.Bounds, error) {
+	var b plan.Bounds
+	if raw := r.URL.Query().Get("maxerr"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return b, badRequest("bad maxerr %q (want a fraction in (0,1))", raw)
+		}
+		b.MaxErr = v
+	}
+	if raw := r.URL.Query().Get("maxtime"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return b, badRequest("bad maxtime %q (want a positive duration like 50ms)", raw)
+		}
+		b.MaxTime = d
+	}
+	return b, nil
+}
+
+// confidenceParam parses ?confidence= (default 0.95).
+func confidenceParam(r *http.Request) (float64, error) {
+	confidence := 0.95
+	if raw := r.URL.Query().Get("confidence"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, badRequest("bad confidence %q", raw)
+		}
+		confidence = v
+	}
+	return confidence, nil
+}
+
+// rangePred parses a count:LO..HI / fraction:LO..HI query into its kind and
+// range predicate — shared by answer() and the maxerr gate (these two kinds
+// are the only ones whose fraction-scale error a maxerr bound can promise).
+func rangePred(q string) (kind string, pred func(int64) bool, err error) {
+	kind, spec, _ := strings.Cut(q, ":")
+	loRaw, hiRaw, ok := strings.Cut(spec, "..")
+	if !ok {
+		return "", nil, badRequest("bad range %q (want %s:LO..HI)", q, kind)
+	}
+	lo, err1 := strconv.ParseInt(loRaw, 10, 64)
+	hi, err2 := strconv.ParseInt(hiRaw, 10, 64)
+	if err1 != nil || err2 != nil || lo > hi {
+		return "", nil, badRequest("bad range bounds %q", q)
+	}
+	return kind, func(v int64) bool { return v >= lo && v <= hi }, nil
+}
+
+// proxyEvaluator is the query-agnostic half-width evaluator used where no
+// specific predicate is in hand (the sample endpoint, shard-local scatter
+// legs): the worst-case p=0.5 width upper-bounds any range query's, so a
+// bound met under the proxy holds for whatever estimate the caller — or a
+// coordinator — later builds from the covered sample.
+func proxyEvaluator(confidence float64) func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
+	return func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
+		hw, err := estimate.ProxyHalfWidth(acc.Size(), acc.ParentSize, totalPop, confidence)
+		if err != nil {
+			return 0, false
+		}
+		return hw, true
+	}
+}
+
 // merged runs the warehouse merge under the request context, mapping
 // warehouse errors to HTTP ones.
 func (s *Server) merged(r *http.Request, ds string, ids []string, partial bool) (*core.Sample[int64], Coverage, error) {
@@ -673,6 +797,26 @@ func (s *Server) merged(r *http.Request, ds string, ids []string, partial bool) 
 	return smp, coverage(cov), nil
 }
 
+// mergedPlanned is merged() for bounded queries: the planner-driven
+// warehouse merge with the same error mapping.
+func (s *Server) mergedPlanned(r *http.Request, ds string, ids []string, partial bool, pq warehouse.PlannedQuery[int64]) (*core.Sample[int64], Coverage, *warehouse.PlanExecution, error) {
+	if _, err := s.wh.Config(ds); err != nil {
+		return nil, Coverage{}, nil, notFound("unknown data set %q", ds)
+	}
+	smp, cov, exec, err := s.wh.MergedSamplePlanned(r.Context(), ds, ids, partial, pq)
+	if err != nil {
+		switch {
+		case strings.Contains(err.Error(), "has no partitions"),
+			strings.Contains(err.Error(), "no readable partitions"):
+			return nil, Coverage{}, exec, notFound("%v", err)
+		case strings.Contains(err.Error(), "duplicate partition"):
+			return nil, Coverage{}, exec, badRequest("%v", err)
+		}
+		return nil, Coverage{}, exec, err
+	}
+	return smp, coverage(cov), exec, nil
+}
+
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	ds := r.PathValue("ds")
 	ids, partial, err := mergeParams(r)
@@ -691,15 +835,37 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	bounds, err := boundsParams(r)
+	if err != nil {
+		return err
+	}
+	confidence, err := confidenceParam(r)
+	if err != nil {
+		return err
+	}
 	var (
 		smp      *core.Sample[int64]
 		cov      Coverage
 		shards   []ShardStatus
 		degraded bool
+		pinfo    *PlanInfo
 	)
-	if s.coordinated(r) {
-		smp, cov, shards, degraded, err = s.scatterMerged(r, ds, ids, partial)
-	} else {
+	switch {
+	case s.coordinated(r):
+		smp, cov, shards, degraded, pinfo, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence)
+	case bounds.Bounded():
+		// The sample endpoint has no query kind, so a maxerr bound stops on
+		// the query-agnostic proxy width — conservative for any range query a
+		// caller later runs against the returned values.
+		pq := warehouse.PlannedQuery[int64]{Bounds: bounds, Confidence: confidence}
+		if bounds.MaxErr > 0 {
+			pq.HalfWidth = proxyEvaluator(confidence)
+		}
+		var exec *warehouse.PlanExecution
+		smp, cov, exec, err = s.mergedPlanned(r, ds, ids, partial, pq)
+		pinfo = planInfo(bounds, exec)
+		degraded = cov.Partial
+	default:
 		smp, cov, err = s.merged(r, ds, ids, partial)
 		degraded = cov.Partial
 	}
@@ -707,7 +873,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov,
-		Degraded: degraded, Shards: shards}
+		Degraded: degraded, Shards: shards, Plan: pinfo}
 	if explain {
 		resp.TraceID, resp.Trace = explainTrace(r)
 	}
@@ -741,13 +907,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if q == "" {
 		return badRequest("q required (avg | sum | median | distinct | count:LO..HI | fraction:LO..HI | quantile:Q | topk:K | groupby:DIV)")
 	}
-	confidence := 0.95
-	if raw := r.URL.Query().Get("confidence"); raw != "" {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return badRequest("bad confidence %q", raw)
-		}
-		confidence = v
+	confidence, err := confidenceParam(r)
+	if err != nil {
+		return err
 	}
 	ids, partial, err := mergeParams(r)
 	if err != nil {
@@ -757,15 +919,51 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	bounds, err := boundsParams(r)
+	if err != nil {
+		return err
+	}
+	// A maxerr bound promises a fraction-scale half-width over the full
+	// requested population, which only the selectivity-style kinds define;
+	// other kinds can still be time-bounded.
+	var pred func(int64) bool
+	rangeKind := ""
+	if bounds.MaxErr > 0 {
+		if !strings.HasPrefix(q, "count:") && !strings.HasPrefix(q, "fraction:") {
+			return badRequest("maxerr applies only to count:LO..HI and fraction:LO..HI queries (got %q); use maxtime to bound other kinds", q)
+		}
+		rangeKind, pred, err = rangePred(q)
+		if err != nil {
+			return err
+		}
+	}
 	var (
 		smp      *core.Sample[int64]
 		cov      Coverage
 		shards   []ShardStatus
 		degraded bool
+		pinfo    *PlanInfo
 	)
-	if s.coordinated(r) {
-		smp, cov, shards, degraded, err = s.scatterMerged(r, ds, ids, partial)
-	} else {
+	switch {
+	case s.coordinated(r):
+		smp, cov, shards, degraded, pinfo, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence)
+	case bounds.Bounded():
+		pq := warehouse.PlannedQuery[int64]{Bounds: bounds, Confidence: confidence}
+		if pred != nil {
+			p := pred
+			pq.HalfWidth = func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
+				e, herr := estimate.BoundedFraction(acc, p, confidence, totalPop)
+				if herr != nil {
+					return 0, false
+				}
+				return estimate.HalfWidth(e), true
+			}
+		}
+		var exec *warehouse.PlanExecution
+		smp, cov, exec, err = s.mergedPlanned(r, ds, ids, partial, pq)
+		pinfo = planInfo(bounds, exec)
+		degraded = cov.Partial
+	default:
 		smp, cov, err = s.merged(r, ds, ids, partial)
 		degraded = cov.Partial
 	}
@@ -774,17 +972,41 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	}
 	esp := obs.SpanFromContext(r.Context()).Start("estimate")
 	esp.SetLabel("q", q)
-	est, err := estimate.NewWithConfidence(smp, confidence)
-	if err != nil {
-		esp.SetError(err)
-		return badRequest("%v", err)
-	}
 	resp := EstimateResponse{
 		Dataset: ds, Query: q, Confidence: confidence,
 		Sample: sampleMeta(smp), Coverage: cov,
-		Degraded: degraded, Shards: shards,
+		Degraded: degraded, Shards: shards, Plan: pinfo,
 	}
-	err = s.answer(&resp, est, smp, q)
+	if rangeKind != "" && pinfo != nil {
+		// Bounded range queries answer over the full requested population:
+		// the interval carries the pruned partitions' worst case, so it stays
+		// honest no matter what the planner left unloaded.
+		var e estimate.Estimate
+		var aerr error
+		if rangeKind == "count" {
+			e, aerr = estimate.BoundedCount(smp, pred, confidence, pinfo.TotalPopulation)
+		} else {
+			e, aerr = estimate.BoundedFraction(smp, pred, confidence, pinfo.TotalPopulation)
+		}
+		if aerr != nil {
+			esp.SetError(aerr)
+			esp.End()
+			return badRequest("%v", aerr)
+		}
+		resp.Estimate = &e
+		hw := estimate.HalfWidth(e)
+		if rangeKind == "count" && pinfo.TotalPopulation > 0 {
+			hw /= float64(pinfo.TotalPopulation)
+		}
+		pinfo.AchievedHalfWidth = hw
+	} else {
+		est, nerr := estimate.NewWithConfidence(smp, confidence)
+		if nerr != nil {
+			esp.SetError(nerr)
+			return badRequest("%v", nerr)
+		}
+		err = s.answer(&resp, est, smp, q)
+	}
 	esp.SetError(err)
 	esp.End()
 	if err != nil {
@@ -849,17 +1071,10 @@ func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], 
 		resp.Groups = groups
 		return nil
 	case strings.HasPrefix(q, "count:"), strings.HasPrefix(q, "fraction:"):
-		kind, spec, _ := strings.Cut(q, ":")
-		loRaw, hiRaw, ok := strings.Cut(spec, "..")
-		if !ok {
-			return badRequest("bad range %q (want %s:LO..HI)", q, kind)
+		kind, pred, err := rangePred(q)
+		if err != nil {
+			return err
 		}
-		lo, err1 := strconv.ParseInt(loRaw, 10, 64)
-		hi, err2 := strconv.ParseInt(hiRaw, 10, 64)
-		if err1 != nil || err2 != nil || lo > hi {
-			return badRequest("bad range bounds %q", q)
-		}
-		pred := func(v int64) bool { return v >= lo && v <= hi }
 		if kind == "count" {
 			return setEst(est.Count(pred))
 		}

@@ -27,6 +27,11 @@ type instrumentable interface {
 //	warehouse.merge_inputs                       histogram of merge fan-in
 //	warehouse.merge_ns                           merge latency histogram
 //	warehouse.<dataset>.partitions               live partition count (gauge)
+//	warehouse.partition_stats_entries            planner registry size (gauge)
+//	plan.plans                                   bounded queries planned (counter)
+//	plan.early_stops                             executions stopped before the full plan (counter)
+//	plan.partitions_pruned                       partitions a bounded query never loaded (counter)
+//	plan.stats_backfills                         registry entries repaired on the query path (counter)
 type whObs struct {
 	reg *obs.Registry
 
@@ -38,6 +43,11 @@ type whObs struct {
 	skippedPartitions *obs.Counter
 	recoveries        *obs.Counter
 	errors            *obs.Counter
+
+	plans            *obs.Counter
+	earlyStops       *obs.Counter
+	partitionsPruned *obs.Counter
+	statBackfills    *obs.Counter
 
 	rollInSize  *obs.Histogram
 	mergeInputs *obs.Histogram
@@ -56,6 +66,10 @@ func newWHObs(r *obs.Registry) whObs {
 		skippedPartitions: r.Counter("warehouse.skipped_partitions"),
 		recoveries:        r.Counter("warehouse.recoveries"),
 		errors:            r.Counter("warehouse.errors"),
+		plans:             r.Counter("plan.plans"),
+		earlyStops:        r.Counter("plan.early_stops"),
+		partitionsPruned:  r.Counter("plan.partitions_pruned"),
+		statBackfills:     r.Counter("plan.stats_backfills"),
 		rollInSize:        r.Histogram("warehouse.rollin_sample_size"),
 		mergeInputs:       r.Histogram("warehouse.merge_inputs"),
 		mergeNS:           r.Histogram("warehouse.merge_ns"),

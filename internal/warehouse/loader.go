@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"samplewh/internal/core"
 	"samplewh/internal/obs"
@@ -47,13 +48,15 @@ func resolveMergeWorkers(n int) int {
 //
 // Metric names (see README.md §Observability):
 //
-//	warehouse.partition_loads   store fetches issued by the read path (counter)
-//	warehouse.load_dedup        loads coalesced onto an in-flight fetch (counter)
-//	warehouse.load_ns           store fetch latency (histogram)
+//	warehouse.partition_loads           store fetches issued by the read path (counter)
+//	warehouse.load_dedup                loads coalesced onto an in-flight fetch (counter)
+//	warehouse.load_ns                   store fetch latency (histogram)
+//	warehouse.partition_load_ewma_ns    per-partition latency EWMA after each fetch (histogram)
 type loadObs struct {
 	partitionLoads *obs.Counter
 	loadDedup      *obs.Counter
 	loadNS         *obs.Histogram
+	loadEWMA       *obs.Histogram
 }
 
 func newLoadObs(r *obs.Registry) loadObs {
@@ -61,6 +64,7 @@ func newLoadObs(r *obs.Registry) loadObs {
 		partitionLoads: r.Counter("warehouse.partition_loads"),
 		loadDedup:      r.Counter("warehouse.load_dedup"),
 		loadNS:         r.Histogram("warehouse.load_ns"),
+		loadEWMA:       r.Histogram("warehouse.partition_load_ewma_ns"),
 	}
 }
 
@@ -81,6 +85,10 @@ type loader[V comparable] struct {
 	flights map[string]*flight[V]
 	cache   *samplecache.Cache[V]
 	workers int
+	// ewma holds the per-key load-latency EWMA (α = 1/8) the planner uses to
+	// predict load costs. It describes the store, not the cached content, so
+	// invalidation and cache swaps leave it alone; a roll-out deletes its key.
+	ewma map[string]int64
 
 	o loadObs
 }
@@ -99,7 +107,68 @@ func newLoader[V comparable](store storage.Store[V]) *loader[V] {
 		store:   store,
 		flights: make(map[string]*flight[V]),
 		workers: resolveLoadWorkers(0),
+		ewma:    make(map[string]int64),
 	}
+}
+
+// noteLoad folds one measured store fetch into the key's latency EWMA and
+// mirrors the new value into the warehouse.partition_load_ewma_ns histogram.
+func (l *loader[V]) noteLoad(key string, ns int64) {
+	if ns <= 0 {
+		ns = 1 // a measured load is never confused with "unmeasured" (0)
+	}
+	l.mu.Lock()
+	prev := l.ewma[key]
+	if prev == 0 {
+		prev = ns
+	} else {
+		prev += (ns - prev) / 8
+	}
+	l.ewma[key] = prev
+	l.mu.Unlock()
+	l.o.loadEWMA.Observe(prev)
+}
+
+// ewmaNS returns the key's load-latency EWMA (0 = never measured).
+func (l *loader[V]) ewmaNS(key string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ewma[key]
+}
+
+// seedEWMA primes a key's EWMA from a persisted manifest value.
+func (l *loader[V]) seedEWMA(key string, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if _, ok := l.ewma[key]; !ok {
+		l.ewma[key] = ns
+	}
+	l.mu.Unlock()
+}
+
+// dropEWMA forgets a rolled-out key's EWMA.
+func (l *loader[V]) dropEWMA(key string) {
+	l.mu.Lock()
+	delete(l.ewma, key)
+	l.mu.Unlock()
+}
+
+// workerBound returns the configured concurrent-load bound (wave sizing).
+func (l *loader[V]) workerBound() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.workers
+}
+
+// resident reports whether key's decoded sample is cache-resident, without
+// touching LRU order or the hit/miss counters (the planner's probe).
+func (l *loader[V]) resident(key string) bool {
+	l.mu.Lock()
+	cache := l.cache
+	l.mu.Unlock()
+	return cache.Contains(key)
 }
 
 // instrument routes the loader's metrics through reg (nil reverts to no-op).
@@ -272,10 +341,18 @@ func (l *loader[V]) loadOne(ctx context.Context, key string) (s *core.Sample[V],
 		l.mu.Unlock()
 		sp.SetLabel("cache", "miss")
 
-		t := l.o.loadNS.Start()
+		// The clock is read directly, not through the obs timer: the planner's
+		// cost model must keep learning on uninstrumented warehouses too.
+		t0 := time.Now()
 		f.s, f.err = l.store.Get(key)
-		t.Stop()
+		ns := time.Since(t0).Nanoseconds()
+		l.o.loadNS.Observe(ns)
 		l.o.partitionLoads.Inc()
+		if f.err == nil {
+			// Feed the planner's cost model; failed fetches are excluded so a
+			// fast error path cannot masquerade as a fast load.
+			l.noteLoad(key, ns)
+		}
 
 		l.mu.Lock()
 		delete(l.flights, key)

@@ -37,6 +37,20 @@ type manifestDataset struct {
 	CountBytes     int64    `json:"count_bytes,omitempty"`
 	ExceedProb     float64  `json:"exceed_prob,omitempty"`
 	Partitions     []string `json:"partitions"`
+	// Stats is the planner's per-partition statistics registry (see
+	// stats.go). The field is optional so manifests written before the
+	// registry existed still load under the same version: their partitions
+	// simply plan as "unknown" until the first planned query backfills them.
+	Stats map[string]manifestPartitionStats `json:"partition_stats,omitempty"`
+}
+
+// manifestPartitionStats is one registry entry as persisted: the roll-in
+// snapshot plus the loader's latency EWMA at the last catalog write.
+type manifestPartitionStats struct {
+	SampleSize int64 `json:"sample_size"`
+	ParentSize int64 `json:"parent_size"`
+	Footprint  int64 `json:"footprint_bytes"`
+	LoadEWMANS int64 `json:"load_ewma_ns,omitempty"`
 }
 
 // parseAlgorithm inverts Algorithm.String.
@@ -57,7 +71,7 @@ func parseAlgorithm(s string) (Algorithm, error) {
 func (w *Warehouse[V]) buildManifest() manifest {
 	m := manifest{Version: manifestVersion, Datasets: make(map[string]manifestDataset, len(w.sets))}
 	for name, ds := range w.sets {
-		m.Datasets[name] = manifestDataset{
+		md := manifestDataset{
 			Algorithm:      ds.cfg.Algorithm.String(),
 			SBRate:         ds.cfg.SBRate,
 			FootprintBytes: ds.cfg.Core.FootprintBytes,
@@ -66,6 +80,18 @@ func (w *Warehouse[V]) buildManifest() manifest {
 			ExceedProb:     ds.cfg.Core.ExceedProb,
 			Partitions:     append([]string{}, ds.partitions...),
 		}
+		if len(ds.stats) > 0 {
+			md.Stats = make(map[string]manifestPartitionStats, len(ds.stats))
+			for id, st := range ds.stats {
+				md.Stats[id] = manifestPartitionStats{
+					SampleSize: st.SampleSize,
+					ParentSize: st.ParentSize,
+					Footprint:  st.Footprint,
+					LoadEWMANS: w.ld.ewmaNS(w.key(name, id)),
+				}
+			}
+		}
+		m.Datasets[name] = md
 	}
 	return m
 }
@@ -160,7 +186,19 @@ func Open[V comparable](store storage.Store[V], seed uint64) (*Warehouse[V], *Re
 		if err != nil {
 			return nil, nil, fmt.Errorf("warehouse: manifest data set %q: %w", name, err)
 		}
-		w.sets[name] = &dataset{cfg: norm, partitions: append([]string{}, md.Partitions...)}
+		ds := &dataset{cfg: norm, partitions: append([]string{}, md.Partitions...)}
+		if len(md.Stats) > 0 {
+			ds.stats = make(map[string]PartitionStats, len(md.Stats))
+			for id, st := range md.Stats {
+				ds.stats[id] = PartitionStats{
+					SampleSize: st.SampleSize,
+					ParentSize: st.ParentSize,
+					Footprint:  st.Footprint,
+				}
+				w.ld.seedEWMA(w.key(name, id), st.LoadEWMANS)
+			}
+		}
+		w.sets[name] = ds
 	}
 	rep, err := w.Recover()
 	if err != nil {
@@ -202,12 +240,15 @@ func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
 				kept = append(kept, p)
 			} else {
 				rep.Dangling = append(rep.Dangling, k)
+				delete(ds.stats, p)
+				w.ld.dropEWMA(k)
 				changed = true
 			}
 		}
 		ds.partitions = kept
 		rep.Partitions += len(kept)
 	}
+	w.statGauge()
 	rep.Datasets = len(w.sets)
 	for _, k := range keys {
 		if !claimed[k] {

@@ -115,6 +115,9 @@ type Warehouse[V comparable] struct {
 type dataset struct {
 	cfg        DatasetConfig
 	partitions []string // ordered by roll-in time
+	// stats is the planner's per-partition statistics registry, maintained at
+	// roll-in/attach/roll-out and persisted in the manifest (see stats.go).
+	stats map[string]PartitionStats
 }
 
 // New creates a warehouse over the given store, seeding all merge
@@ -156,6 +159,9 @@ func (w *Warehouse[V]) Instrument(reg *obs.Registry) {
 	defer w.mu.Unlock()
 	w.o = newWHObs(reg)
 	w.ld.instrument(reg)
+	// A registry attached after partitions were rolled in starts from the
+	// catalog's current state rather than zero.
+	w.statGauge()
 }
 
 // CreateDataset registers a data set. It errors if the name is empty,
@@ -282,6 +288,7 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 	if !replay {
 		ds.partitions = append(ds.partitions, partitionID)
 	}
+	w.setStat(ds, partitionID, s)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}
@@ -329,8 +336,10 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 			s.Config, ds.cfg.Core)
 	}
 	ds.partitions = append(ds.partitions, partitionID)
+	w.setStat(ds, partitionID, s)
 	if err := w.saveManifest(); err != nil {
 		ds.partitions = ds.partitions[:len(ds.partitions)-1]
+		w.dropStat(ds, partitionID)
 		return err
 	}
 	w.ld.invalidate(w.key(dataset, partitionID))
@@ -372,7 +381,9 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 		return err
 	}
 	w.ld.invalidate(w.key(dataset, partitionID))
+	w.ld.dropEWMA(w.key(dataset, partitionID))
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
+	w.dropStat(ds, partitionID)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}
@@ -441,11 +452,15 @@ type SkippedPartition struct {
 }
 
 // MergeCoverage reports which of the requested partitions a merge actually
-// covered. Skipped is empty for a full-coverage merge.
+// covered. Skipped is empty for a full-coverage merge. Pruned lists
+// partitions a bounded query's planner deliberately never loaded (see
+// MergedSamplePlanned); unlike Skipped they do not make the answer degraded —
+// the caller asked for exactly this trade.
 type MergeCoverage struct {
 	Requested []string
 	Merged    []string
 	Skipped   []SkippedPartition
+	Pruned    []string
 }
 
 // Partial reports whether any requested partition was skipped.

@@ -42,6 +42,7 @@ import (
 	"samplewh/internal/fullwh"
 	"samplewh/internal/histogram"
 	"samplewh/internal/obs"
+	"samplewh/internal/plan"
 	"samplewh/internal/randx"
 	"samplewh/internal/samplecache"
 	"samplewh/internal/server"
@@ -313,6 +314,36 @@ type SkippedPartition = warehouse.SkippedPartition
 // MergeCoverage reports which of a partial merge's requested partitions made
 // it into the result and which were skipped.
 type MergeCoverage = warehouse.MergeCoverage
+
+// QueryBounds carries a bounded query's targets: a fraction-scale error
+// bound and/or a merge time budget (DESIGN.md §14). The zero value runs the
+// ordinary full merge.
+type QueryBounds = plan.Bounds
+
+// PlannedQuery configures Warehouse.MergedSamplePlanned: the bounds, the
+// planner confidence and the half-width evaluator driving early stop.
+type PlannedQuery[V comparable] = warehouse.PlannedQuery[V]
+
+// PlanExecution reports how a bounded merge ran: the chosen plan, partitions
+// loaded versus pruned, the stop reason and the achieved half-width.
+type PlanExecution = warehouse.PlanExecution
+
+// PartitionStats is one entry of the warehouse's per-partition statistics
+// registry feeding the query planner.
+type PartitionStats = warehouse.PartitionStats
+
+// BoundedFraction estimates the fraction of the FULL population (totalPop
+// values) satisfying pred from a sample covering possibly fewer: the interval
+// carries the uncovered remainder's worst case, so it is honest under
+// planner pruning and degraded coverage.
+func BoundedFraction[V comparable](s *Sample[V], pred func(V) bool, confidence float64, totalPop int64) (Estimate, error) {
+	return estimate.BoundedFraction(s, pred, confidence, totalPop)
+}
+
+// BoundedCount is BoundedFraction scaled to a count of the full population.
+func BoundedCount[V comparable](s *Sample[V], pred func(V) bool, confidence float64, totalPop int64) (Estimate, error) {
+	return estimate.BoundedCount(s, pred, confidence, totalPop)
+}
 
 // QueryConfig tunes the warehouse read path: the decoded-sample cache budget
 // (bytes of sample footprint; 0 disables caching), the partition-load worker
