@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query bench-plan bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
+.PHONY: check fmt vet build test bench bench-query bench-plan bench-sketch bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
 
 check: fmt vet build test
 
@@ -35,6 +35,13 @@ bench-query:
 # warehouse; partitions loaded and latency must fall as the bound loosens.
 bench-plan:
 	go run ./cmd/swbench -exp plan -pparts 32 -pmaxerr 0.05,0.1,0.2,0.3 -json BENCH_plan.json
+
+# Sketch sidecar benchmark (DESIGN.md §15): prove-pruning ladder (fails
+# unless the prune ratio grows with selectivity and estimates stay
+# byte-identical) plus KMV-union vs sample-GEE distinct estimation on a
+# skewed workload, written to BENCH_sketch.json.
+bench-sketch:
+	go run ./cmd/swbench -exp sketch -skparts 32 -json BENCH_sketch.json
 
 # Serving-layer benchmark (DESIGN.md §10): closed-loop client ladder against
 # a live loopback server — latency quantiles and shed rate per client count,

@@ -69,7 +69,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, plan, serve, cluster, chaos, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, plan, sketch, serve, cluster, chaos, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -97,6 +97,7 @@ func main() {
 		faultCrpt   = flag.Float64("fault-corrupt", 0.15, "faults experiment: sticky corruption probability per partition")
 		pparts      = flag.Int("pparts", 32, "plan experiment: partition count")
 		pmaxerr     = flag.String("pmaxerr", "0.05,0.1,0.2,0.3", "plan experiment: comma-separated maxerr ladder, loosest last")
+		skparts     = flag.Int("skparts", 32, "sketch experiment: partition count")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
 	)
@@ -195,6 +196,9 @@ func main() {
 			return emit(name, r, err)
 		case "plan":
 			r, err := experiments.Plan(*pparts, parseFloats(*pmaxerr), opt)
+			return emit(name, r, err)
+		case "sketch":
+			r, err := experiments.Sketch(*skparts, opt)
 			return emit(name, r, err)
 		case "querypath":
 			r, err := experiments.QueryPath(parseInts(*qparts), parseInts(*qworkers), opt)

@@ -41,6 +41,7 @@ import (
 	"samplewh/internal/estimate"
 	"samplewh/internal/obs"
 	"samplewh/internal/server"
+	"samplewh/internal/sketch"
 	"samplewh/internal/storage"
 	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
@@ -141,7 +142,8 @@ commands:
   estimate -ds NAME [-part IDS] -q QUERY   (avg | sum | median | distinct | topk:K | count:LO..HI)
   rollout  -ds NAME -part ID
   fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog,
-           check wal/ segments for torn tails and orphans)
+           check wal/ segments for torn tails and orphans, audit sketch
+           sidecars — -fix rebuilds missing/stale/corrupt ones)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
            [-confidence 0.95] [-maxerr E] [-maxtime D] [-explain] [-json]
            (against a running swd; no -dir needed. -maxerr/-maxtime bound the
@@ -189,6 +191,13 @@ func (c *cli) open() error {
 	c.cat.Datasets = map[string]*catalogEntry{}
 	data, err := os.ReadFile(c.catalogPath())
 	if os.IsNotExist(err) {
+		// No catalog.json: either a fresh directory or a daemon-managed one
+		// (swd's catalog IS the warehouse manifest). Adopt a fresh directory
+		// so sketch sidecars persist; never clobber a daemon's manifest with
+		// an empty reconstruction.
+		if !warehouse.HasManifest(st) {
+			return c.wh.PersistCatalog()
+		}
 		return nil
 	}
 	if err != nil {
@@ -211,7 +220,9 @@ func (c *cli) open() error {
 			}
 		}
 	}
-	return nil
+	// This is a swcli-managed directory: keep the warehouse manifest (and
+	// with it the sketch sidecars fsck audits) in step with the catalog.
+	return c.wh.PersistCatalog()
 }
 
 // save writes the catalog atomically.
@@ -418,15 +429,19 @@ func (c *cli) info(args []string) error {
 }
 
 // mergedSample resolves the -part list (empty = all) into a merged sample.
-func (c *cli) mergedSample(ds, parts string) (*core.Sample[int64], error) {
-	var ids []string
-	if parts != "" {
-		ids = strings.Split(parts, ",")
-		for i := range ids {
-			ids[i] = strings.TrimSpace(ids[i])
-		}
+func partIDs(parts string) []string {
+	if parts == "" {
+		return nil
 	}
-	return c.wh.MergedSample(ds, ids...)
+	ids := strings.Split(parts, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	return ids
+}
+
+func (c *cli) mergedSample(ds, parts string) (*core.Sample[int64], error) {
+	return c.wh.MergedSample(ds, partIDs(parts)...)
 }
 
 func (c *cli) merge(args []string) error {
@@ -486,6 +501,16 @@ func (c *cli) estimate(args []string) error {
 	case *q == "distinct":
 		fmt.Printf("DISTINCT: in-sample=%d chao1≈%.0f gee≈%.0f\n",
 			est.DistinctNaive(), est.DistinctChao1(), est.DistinctGEE())
+		// The sketch-union answer rides along when sidecars exist. It is
+		// authoritative only when every sidecar observed every row; a
+		// sample-bounded union cannot see values the sampler dropped.
+		if sk, err := c.wh.DatasetSketch(context.Background(), *ds, partIDs(*part)...); err == nil {
+			scope := "sample-bounded"
+			if sk.Source == sketch.SourceStream || sk.Exhaustive {
+				scope = "authoritative"
+			}
+			fmt.Printf("DISTINCT (kmv union) ≈ %.0f (%s)\n", sk.DistinctEstimate(), scope)
+		}
 	case strings.HasPrefix(*q, "topk:"):
 		k, err := strconv.Atoi(strings.TrimPrefix(*q, "topk:"))
 		if err != nil {
@@ -584,7 +609,9 @@ func (c *cli) rollout(args []string) error {
 // -fix, catalog entries whose samples are gone (dangling) are dropped, torn
 // journal tails are truncated back to the last valid frame, and fully
 // committed journal segments are removed; orphan samples are reported but
-// never deleted.
+// never deleted. A final pass audits the manifest's sketch sidecars —
+// missing, stale, or corrupt summaries are reported and, with -fix, rebuilt
+// from the stored samples.
 func (c *cli) fsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	fix := fs.Bool("fix", false, "repair: drop dangling catalog entries")
@@ -704,7 +731,30 @@ func (c *cli) fsck(args []string) error {
 		return err
 	}
 
-	problems := len(corrupt) + len(orphans) + walProblems
+	// Pass 5: sketch sidecars. The warehouse manifest carries one mergeable
+	// summary per partition (DESIGN.md §15); a missing, stale, or corrupt
+	// sidecar costs partition pruning and sketch-assisted answers, never
+	// correctness. With -fix, defective sidecars are rebuilt from the stored
+	// samples and the manifest is rewritten.
+	skRep, err := warehouse.FsckSketches(c.st, *fix)
+	if err != nil {
+		return fmt.Errorf("fsck: sketches: %w", err)
+	}
+	for _, k := range skRep.Missing {
+		fmt.Printf("sketch missing: %s (-fix rebuilds from the sample)\n", k)
+	}
+	for _, k := range skRep.Stale {
+		fmt.Printf("sketch stale: %s (-fix rebuilds from the sample)\n", k)
+	}
+	for _, k := range skRep.Corrupt {
+		fmt.Printf("sketch corrupt: %s (-fix rebuilds from the sample)\n", k)
+	}
+	for _, k := range skRep.Fixed {
+		fmt.Printf("sketch rebuilt: %s\n", k)
+	}
+	sketchProblems := skRep.Problems() - len(skRep.Fixed)
+
+	problems := len(corrupt) + len(orphans) + walProblems + sketchProblems
 	if !*fix {
 		problems += len(dangling)
 	}
@@ -858,6 +908,10 @@ func query(args []string) error {
 		case resp.Distinct != nil:
 			fmt.Printf("DISTINCT: in-sample=%d chao1≈%.0f gee≈%.0f\n",
 				resp.Distinct.InSample, resp.Distinct.Chao1, resp.Distinct.GEE)
+			if resp.Distinct.KMV > 0 {
+				fmt.Printf("DISTINCT (kmv union) ≈ %.0f (method=%s)\n",
+					resp.Distinct.KMV, resp.Distinct.Method)
+			}
 		case resp.TopK != nil:
 			for i, fe := range resp.TopK {
 				fmt.Printf("%2d. value=%-12d est_freq≈%.0f (sample %d)\n", i+1, fe.Value, fe.Estimated, fe.InSample)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -405,5 +406,54 @@ func TestCLIFsckOpensDamagedWarehouse(t *testing.T) {
 	}
 	if err := healed.estimate([]string{"-ds", "d", "-q", "avg"}); err != nil {
 		t.Fatalf("estimate after repair: %v", err)
+	}
+}
+
+// TestCLIFsckSketchPass damages the manifest's sketch sidecars directly —
+// one deleted, one carrying a future format version — and checks fsck
+// reports both while -fix rebuilds them from the stored samples.
+func TestCLIFsckSketchPass(t *testing.T) {
+	dir := t.TempDir()
+	c := newCLI(t, dir)
+	if err := c.create([]string{"-ds", "orders", "-alg", "HR", "-nf", "256"}); err != nil {
+		t.Fatal(err)
+	}
+	vals := writeValues(t, t.TempDir(), 5000)
+	for _, p := range []string{"p1", "p2"} {
+		if err := c.ingest([]string{"-ds", "orders", "-part", p, "-in", vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.fsck(nil); err != nil {
+		t.Fatalf("fsck on a fresh warehouse: %v", err)
+	}
+
+	raw, err := c.st.GetBlob("warehouse-manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	sketches := m["datasets"].(map[string]any)["orders"].(map[string]any)["partition_sketches"].(map[string]any)
+	delete(sketches, "p1")
+	sketches["p2"].(map[string]any)["version"] = 99
+	damaged, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.st.PutBlob("warehouse-manifest", damaged); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.fsck(nil); err == nil {
+		t.Fatal("fsck missed the damaged sidecars")
+	}
+	if err := c.fsck([]string{"-fix"}); err != nil {
+		t.Fatalf("fsck -fix: %v", err)
+	}
+	if err := c.fsck(nil); err != nil {
+		t.Fatalf("fsck after -fix: %v", err)
 	}
 }

@@ -1,0 +1,207 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"samplewh/internal/core"
+	"samplewh/internal/histogram"
+)
+
+func stratum(t *testing.T, kind core.Kind, parent int64, values map[int64]int64) *core.Sample[int64] {
+	t.Helper()
+	h := histogram.New[int64](histogram.SizeModel{ValueBytes: 8, CountBytes: 8})
+	for v, c := range values {
+		h.Insert(v, c)
+	}
+	return &core.Sample[int64]{Kind: kind, Hist: h, ParentSize: parent, Q: 1}
+}
+
+// TestPrunedBitIdentity is the estimator-level half of the pruning
+// answer-preservation property: replacing an out-of-range stratum with a
+// ZeroStratum of the same population yields bit-identical estimates.
+func TestPrunedBitIdentity(t *testing.T) {
+	inRange := stratum(t, core.ReservoirKind, 100, map[int64]int64{5: 3, 15: 2, 40: 5})
+	alsoIn := stratum(t, core.BernoulliKind, 200, map[int64]int64{8: 4, 30: 6})
+	outside := stratum(t, core.ReservoirKind, 150, map[int64]int64{500: 4, 600: 6})
+	pred := func(v int64) bool { return v >= 0 && v <= 50 }
+
+	full, err := core.NewStratified(inRange.Clone(), alsoIn.Clone(), outside.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := core.NewStratified(inRange.Clone(), alsoIn.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conf := range []float64{0.90, 0.95, 0.99} {
+		ef, err := NewStratifiedWithConfidence(full, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := NewStratifiedWithConfidence(pruned, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeros := []ZeroStratum{{Pop: 150, Exhaustive: false}}
+
+		cf, err1 := ef.CountPruned(pred, nil)
+		cp, err2 := ep.CountPruned(pred, zeros)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("count errs: %v %v", err1, err2)
+		}
+		if cf != cp {
+			t.Fatalf("conf %v: count not bit-identical:\nfull   %+v\npruned %+v", conf, cf, cp)
+		}
+
+		ff, err1 := ef.FractionPruned(pred, nil)
+		fp, err2 := ep.FractionPruned(pred, zeros)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("fraction errs: %v %v", err1, err2)
+		}
+		if ff != fp {
+			t.Fatalf("conf %v: fraction not bit-identical:\nfull   %+v\npruned %+v", conf, ff, fp)
+		}
+	}
+}
+
+// TestPrunedMatchesUnpruned checks CountPruned/FractionPruned degenerate to
+// Count/Fraction with no zeros.
+func TestPrunedMatchesUnpruned(t *testing.T) {
+	s := stratum(t, core.ReservoirKind, 100, map[int64]int64{1: 5, 9: 5})
+	st, err := core.NewStratified(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewStratified(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(v int64) bool { return v < 5 }
+	a, _ := e.Count(pred)
+	b, _ := e.CountPruned(pred, nil)
+	if a != b {
+		t.Fatalf("CountPruned(nil) differs from Count: %+v vs %+v", a, b)
+	}
+	fa, _ := e.Fraction(pred)
+	fb, _ := e.FractionPruned(pred, nil)
+	if fa != fb {
+		t.Fatalf("FractionPruned(nil) differs from Fraction: %+v vs %+v", fa, fb)
+	}
+}
+
+// TestPrunedExactFlag: a pruned exhaustive stratum keeps exactness; a
+// pruned sampled stratum clears it — matching what loading would do.
+func TestPrunedExactFlag(t *testing.T) {
+	ex := stratum(t, core.Exhaustive, 10, map[int64]int64{1: 10})
+	st, err := core.NewStratified(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewStratified(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(v int64) bool { return v < 5 }
+	got, err := e.CountPruned(pred, []ZeroStratum{{Pop: 20, Exhaustive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact {
+		t.Fatalf("exhaustive zeros should stay exact: %+v", got)
+	}
+	got, err = e.CountPruned(pred, []ZeroStratum{{Pop: 20, Exhaustive: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exact {
+		t.Fatalf("sampled zeros must clear exactness: %+v", got)
+	}
+	// Fraction denominator includes the zero population: 10 of 30 match.
+	frac, err := e.FractionPruned(pred, []ZeroStratum{{Pop: 20, Exhaustive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.Value-10.0/30.0) > 1e-12 {
+		t.Fatalf("fraction over zeros-inclusive total: %+v", frac)
+	}
+}
+
+// TestBoundedProvenZeroDelegates: provenZero == 0 must be bit-identical to
+// the PR 8 bounded estimators.
+func TestBoundedProvenZeroDelegates(t *testing.T) {
+	s := stratum(t, core.ReservoirKind, 100, map[int64]int64{1: 5, 9: 5})
+	pred := func(v int64) bool { return v < 5 }
+	a, err1 := BoundedFraction(s, pred, 0.95, 400)
+	b, err2 := BoundedFractionProvenZero(s, pred, 0.95, 400, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if a != b {
+		t.Fatalf("provenZero=0 not identical: %+v vs %+v", a, b)
+	}
+	ca, _ := BoundedCount(s, pred, 0.95, 400)
+	cb, _ := BoundedCountProvenZero(s, pred, 0.95, 400, 0)
+	if ca != cb {
+		t.Fatalf("count provenZero=0 not identical: %+v vs %+v", ca, cb)
+	}
+}
+
+// TestBoundedProvenZeroTightens: proving part of the uncovered population
+// zero shrinks Hi and the half-width, and never drops truth coverage.
+func TestBoundedProvenZeroTightens(t *testing.T) {
+	s := stratum(t, core.ReservoirKind, 100, map[int64]int64{1: 5, 9: 5})
+	pred := func(v int64) bool { return v < 5 }
+	base, err := BoundedFraction(s, pred, 0.95, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := BoundedFractionProvenZero(s, pred, 0.95, 400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Hi >= base.Hi {
+		t.Fatalf("proven zero did not tighten Hi: base %+v tight %+v", base, tight)
+	}
+	if HalfWidth(tight) >= HalfWidth(base) {
+		t.Fatalf("half-width did not shrink: base %v tight %v", HalfWidth(base), HalfWidth(tight))
+	}
+	// Fully accounted population: unknown = 0.
+	if tight.Lo > tight.Hi {
+		t.Fatalf("inverted interval: %+v", tight)
+	}
+	// Count scaling.
+	cnt, err := BoundedCountProvenZero(s, pred, 0.95, 400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cnt.Value-tight.Value*400) > 1e-9 {
+		t.Fatalf("count scale mismatch: %+v vs %v", cnt, tight.Value*400)
+	}
+}
+
+// TestProxyProvenZero: the proxy bound delegates at zero and tightens with
+// proven-zero population.
+func TestProxyProvenZero(t *testing.T) {
+	z, err := ZCrit(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := ProxyHalfWidthZ(50, 100, 400, z), ProxyHalfWidthProvenZeroZ(50, 100, 400, 0, z); a != b {
+		t.Fatalf("delegation differs: %v vs %v", a, b)
+	}
+	base := ProxyHalfWidthZ(50, 100, 400, z)
+	tight := ProxyHalfWidthProvenZeroZ(50, 100, 400, 200, z)
+	if tight >= base {
+		t.Fatalf("proxy did not tighten: %v vs %v", tight, base)
+	}
+	// All uncovered population proven zero → only sampling error remains.
+	all := ProxyHalfWidthProvenZeroZ(50, 100, 400, 300, z)
+	if all >= tight {
+		t.Fatalf("full proven zero should be tightest: %v vs %v", all, tight)
+	}
+	// Nothing covered but everything proven zero → exact.
+	if got := ProxyHalfWidthProvenZeroZ(0, 0, 400, 400, z); got != 0 {
+		t.Fatalf("all-proven-zero proxy = %v, want 0", got)
+	}
+}

@@ -83,12 +83,12 @@ func Plan(parts int, ladder []float64, opt Options) (*Report, error) {
 		}
 	}
 
-	hw := func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
-		v, err := estimate.ProxyHalfWidth(acc.Size(), acc.ParentSize, totalPop, confidence)
+	hw := func(acc *core.Sample[int64], totalPop, provenZero int64) (float64, bool) {
+		z, err := estimate.ZCrit(confidence)
 		if err != nil {
 			return 0, false
 		}
-		return v, true
+		return estimate.ProxyHalfWidthProvenZeroZ(acc.Size(), acc.ParentSize, totalPop, provenZero, z), true
 	}
 
 	r := &Report{
@@ -134,7 +134,7 @@ func Plan(parts int, ladder []float64, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plan: baseline: %w", err)
 	}
-	baseHW, _ := hw(base, base.ParentSize)
+	baseHW, _ := hw(base, base.ParentSize, 0)
 	r.Add("full merge", parts, 0, float64(baseNS)/float64(iters)/1e3,
 		fmt.Sprintf("%.4g", baseHW), 100.0, "-")
 

@@ -48,6 +48,13 @@ type PartitionStat struct {
 	// planned first: their population is unaccounted for, so no error bound
 	// can be declared met until they have been loaded and measured.
 	Known bool
+	// Weight is the predicted fraction of this partition's population that
+	// contributes to the query's predicate, in (0, 1] — typically a sketch
+	// sidecar's range-overlap estimate. 0 means "no prediction" and plans as
+	// full weight. Weight shapes only the ordering (contribution per cost);
+	// coverage accounting still counts the full ParentSize, so error bounds
+	// are unaffected by a wrong prediction.
+	Weight float64
 }
 
 // Step is one planned partition with its predicted load cost.
@@ -118,12 +125,23 @@ func Build(stats []PartitionStat, b Bounds, cfg Config) QueryPlan {
 		if rx, ry := rank(x), rank(y); rx != ry {
 			return rx < ry
 		}
-		// Within a rank class, more population per cost first. Compare
-		// cross-multiplied to avoid dividing by zero-cost cached entries.
-		px := x.Stat.ParentSize * maxi64(y.CostNS, 1)
-		py := y.Stat.ParentSize * maxi64(x.CostNS, 1)
-		if px != py {
-			return px > py
+		// Within a rank class, more predicted contribution per cost first.
+		// Compare cross-multiplied to avoid dividing by zero-cost cached
+		// entries. Weighted stats switch to float compare; the unweighted
+		// path keeps exact integer arithmetic.
+		wx, wy := weightOf(x.Stat), weightOf(y.Stat)
+		if wx == 1 && wy == 1 {
+			px := x.Stat.ParentSize * maxi64(y.CostNS, 1)
+			py := y.Stat.ParentSize * maxi64(x.CostNS, 1)
+			if px != py {
+				return px > py
+			}
+		} else {
+			px := wx * float64(x.Stat.ParentSize) * float64(maxi64(y.CostNS, 1))
+			py := wy * float64(y.Stat.ParentSize) * float64(maxi64(x.CostNS, 1))
+			if px != py {
+				return px > py
+			}
 		}
 		return x.Stat.ID < y.Stat.ID
 	})
@@ -193,6 +211,14 @@ func (p QueryPlan) NeededFrom(idx int, curN, curPop int64, z float64) int {
 		}
 	}
 	return remaining
+}
+
+// weightOf normalizes a stat's contribution weight: unset (0) plans as 1.
+func weightOf(s PartitionStat) float64 {
+	if s.Weight <= 0 || s.Weight > 1 {
+		return 1
+	}
+	return s.Weight
 }
 
 // rank buckets a step for the primary sort key: unknown < cached < loadable.

@@ -193,3 +193,48 @@ func TestBoundsBounded(t *testing.T) {
 		t.Fatal("set bounds reported unbounded")
 	}
 }
+
+func TestBuildWeightedRanking(t *testing.T) {
+	// Equal cost and population: a higher predicted-contribution weight must
+	// win; zero weight plans as full weight (no prediction).
+	stats := []PartitionStat{
+		known("half", 4000, 1000, 2_000_000, false),
+		known("tenth", 4000, 1000, 2_000_000, false),
+		known("unknown-weight", 4000, 1000, 2_000_000, false),
+		known("full", 4000, 1000, 2_000_000, false),
+	}
+	stats[0].Weight = 0.5
+	stats[1].Weight = 0.1
+	stats[3].Weight = 1.0
+	p := Build(stats, Bounds{MaxErr: 0.05}, Config{})
+	// full and unknown-weight both rank at weight 1 and tie-break by ID.
+	want := []string{"full", "unknown-weight", "half", "tenth"}
+	if got := order(p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("weighted order %v, want %v", got, want)
+	}
+
+	// Weight trades off against cost: weight 0.5 at half the cost beats
+	// weight 1 at full cost.
+	stats2 := []PartitionStat{
+		known("heavy", 4000, 1000, 4_000_000, false),
+		known("light", 4000, 1000, 1_000_000, false),
+	}
+	stats2[0].Weight = 1.0
+	stats2[1].Weight = 0.5
+	p2 := Build(stats2, Bounds{MaxErr: 0.05}, Config{})
+	if got := order(p2); !reflect.DeepEqual(got, []string{"light", "heavy"}) {
+		t.Fatalf("cost-weight tradeoff order %v", got)
+	}
+
+	// Out-of-range weights normalize to 1 and keep integer-exact ordering.
+	stats3 := []PartitionStat{
+		known("b", 4000, 1000, 2_000_000, false),
+		known("a", 4000, 1000, 2_000_000, false),
+	}
+	stats3[0].Weight = -3
+	stats3[1].Weight = 7
+	p3 := Build(stats3, Bounds{}, Config{})
+	if got := order(p3); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("normalized-weight order %v", got)
+	}
+}

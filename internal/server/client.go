@@ -388,6 +388,14 @@ type QueryOpts struct {
 	// instead of letting a cluster node coordinate a scatter — this is how
 	// the coordinator itself addresses peers without recursion.
 	Local bool
+	// Sketch asks a Sample response to carry the merged sketch sidecar of
+	// its covered partitions (?sketch=1) — KMV distinct and heavy hitters
+	// without shipping the values.
+	Sketch bool
+	// NoPrune disables sketch-sidecar partition pruning on range estimates
+	// (?prune=0). Pruning never changes the answer; the switch exists for
+	// verification and benchmarking.
+	NoPrune bool
 }
 
 func (o QueryOpts) values() url.Values {
@@ -418,6 +426,12 @@ func (o QueryOpts) values() url.Values {
 	}
 	if o.Local {
 		q.Set("local", "1")
+	}
+	if o.Sketch {
+		q.Set("sketch", "1")
+	}
+	if o.NoPrune {
+		q.Set("prune", "0")
 	}
 	return q
 }

@@ -20,6 +20,7 @@ import (
 	"samplewh/internal/obs"
 	"samplewh/internal/plan"
 	"samplewh/internal/randx"
+	"samplewh/internal/sketch"
 	"samplewh/internal/warehouse"
 )
 
@@ -201,6 +202,10 @@ type groupResult struct {
 	// plan accounting for the coordinator to aggregate.
 	pruned []string
 	plan   *PlanInfo
+	// sketch is the shard's merged sidecar over the group's partitions,
+	// present only when the scatter asked for it (distinct/topk queries) and
+	// the shard could produce one.
+	sketch *sketch.Summary
 }
 
 // attemptOut is one replica attempt's outcome inside a group fetch.
@@ -223,7 +228,7 @@ type attemptOut struct {
 // meets maxerr, so early stopping happens where the partitions live instead
 // of after the network round-trip. Remote legs get ~90% of the time budget,
 // holding back a slice for the wire and the coordinator merge.
-func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []string, hedged bool, bounds plan.Bounds, confidence float64) attemptOut {
+func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []string, hedged bool, bounds plan.Bounds, confidence float64, wantSketch bool) attemptOut {
 	out := attemptOut{p: p, hedged: hedged}
 	start := time.Now()
 	sp := obs.SpanFromContext(ctx).Start("shard_fetch")
@@ -251,9 +256,14 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 		}
 		out.res = groupResult{smp: smp, merged: cov.Merged, skipped: cov.Skipped,
 			pruned: cov.Pruned, plan: planInfo(bounds, exec)}
+		if wantSketch {
+			// Best-effort: a nil sketch makes the coordinator fall back to
+			// the sample-based estimators for the whole scatter.
+			out.res.sketch, _ = s.wh.DatasetSketch(ctx, ds, cov.Merged...)
+		}
 		return out
 	}
-	opts := QueryOpts{Parts: parts, Local: true}
+	opts := QueryOpts{Parts: parts, Local: true, Sketch: wantSketch}
 	if bounds.Bounded() {
 		opts.MaxErr = bounds.MaxErr
 		opts.MaxTime = bounds.MaxTime * 9 / 10
@@ -277,7 +287,7 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 		return out
 	}
 	res := groupResult{smp: smp, merged: resp.Coverage.Merged,
-		pruned: resp.Coverage.Pruned, plan: resp.Plan}
+		pruned: resp.Coverage.Pruned, plan: resp.Plan, sketch: resp.Sketch}
 	for _, sk := range resp.Coverage.Skipped {
 		res.skipped = append(res.skipped, warehouse.SkippedPartition{ID: sk.ID, Reason: sk.Reason})
 	}
@@ -291,7 +301,7 @@ func (s *Server) attemptGroup(ctx context.Context, p *peer, ds string, parts []s
 // context is canceled); a failed attempt fails over to the next replica
 // immediately. Peers behind an open breaker are skipped without spending
 // any deadline budget.
-func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chain []*peer, agg *shardAgg, bounds plan.Bounds, confidence float64) (groupResult, error) {
+func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chain []*peer, agg *shardAgg, bounds plan.Bounds, confidence float64, wantSketch bool) (groupResult, error) {
 	c := s.cluster
 	results := make(chan attemptOut, len(chain))
 	gctx, gcancel := context.WithCancel(ctx)
@@ -324,7 +334,7 @@ func (s *Server) fetchGroup(ctx context.Context, ds string, parts []string, chai
 					probes[p] = true
 				}
 			}
-			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged, bounds, confidence) }()
+			go func() { results <- s.attemptGroup(gctx, p, ds, parts, hedged, bounds, confidence, wantSketch) }()
 			return p
 		}
 		return nil
@@ -530,12 +540,12 @@ func (s *Server) healDatasetFromPeers(ctx context.Context, ds string) error {
 // merged sample and reported honestly — it can exceed maxerr even when every
 // shard met it locally, because the cross-shard merge subsamples down to one
 // partition's sample size while the covered population grows.
-func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial bool, bounds plan.Bounds, confidence float64) (*core.Sample[int64], Coverage, []ShardStatus, bool, *PlanInfo, error) {
+func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial bool, bounds plan.Bounds, confidence float64, wantSketch bool) (*core.Sample[int64], Coverage, []ShardStatus, bool, *PlanInfo, *sketch.Summary, error) {
 	c := s.cluster
 	ctx := r.Context()
 	if _, err := s.wh.Config(ds); err != nil {
 		if err := s.healDatasetFromPeers(ctx, ds); err != nil {
-			return nil, Coverage{}, nil, false, nil, err
+			return nil, Coverage{}, nil, false, nil, nil, err
 		}
 	}
 	c.o.scatter.Inc()
@@ -555,20 +565,20 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		var failed int
 		requested, failed, err = s.listPartitions(ctx, ds, agg)
 		if err != nil {
-			return nil, Coverage{}, nil, false, nil, err
+			return nil, Coverage{}, nil, false, nil, nil, err
 		}
 		blind = failed >= c.cfg.Replication
 	} else {
 		seen := make(map[string]bool, len(requested))
 		for _, id := range requested {
 			if seen[id] {
-				return nil, Coverage{}, nil, false, nil, badRequest("duplicate partition %q in parts", id)
+				return nil, Coverage{}, nil, false, nil, nil, badRequest("duplicate partition %q in parts", id)
 			}
 			seen[id] = true
 		}
 	}
 	if len(requested) == 0 {
-		return nil, Coverage{}, agg.list(), len(agg.list()) > 0, nil, notFound("data set %q has no partitions", ds)
+		return nil, Coverage{}, agg.list(), len(agg.list()) > 0, nil, nil, notFound("data set %q has no partitions", ds)
 	}
 
 	// Group partitions by their (identical) replica chains so one request
@@ -624,7 +634,7 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		wg.Add(1)
 		go func(i int, g *group) {
 			defer wg.Done()
-			res, err := s.fetchGroup(fctx, ds, g.parts, g.chain, agg, bounds, confidence)
+			res, err := s.fetchGroup(fctx, ds, g.parts, g.chain, agg, bounds, confidence, wantSketch)
 			outs[i] = fetchOut{g: g, res: res, err: err}
 		}(i, g)
 	}
@@ -634,6 +644,8 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	// merge operators (deterministic order and seed).
 	cov := warehouse.MergeCoverage{Requested: requested}
 	var samples []*core.Sample[int64]
+	var sketches []*sketch.Summary
+	sketchComplete := wantSketch
 	for _, out := range outs {
 		if out.err != nil {
 			for _, id := range out.g.parts {
@@ -649,6 +661,18 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 		if out.res.smp != nil {
 			samples = append(samples, out.res.smp)
 		}
+		// A shard that answered without a sidecar poisons the union: mixing
+		// sketch and non-sketch shards would silently undercount, so the
+		// whole scatter falls back to the sample-based estimators.
+		if out.res.sketch == nil {
+			sketchComplete = false
+		} else {
+			sketches = append(sketches, out.res.sketch)
+		}
+	}
+	var skUnion *sketch.Summary
+	if sketchComplete && len(sketches) > 0 {
+		skUnion = sketch.MergeAll(sketches...)
 	}
 	sort.Strings(cov.Merged)
 	sort.Strings(cov.Pruned)
@@ -689,16 +713,16 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	}
 	if !partial && degraded {
 		if len(cov.Skipped) > 0 {
-			return nil, Coverage{}, shards, degraded, nil,
+			return nil, Coverage{}, shards, degraded, nil, nil,
 				badGateway("strict merge: %d of %d requested partitions unavailable (first: %s: %s)",
 					len(cov.Skipped), len(requested), cov.Skipped[0].ID, cov.Skipped[0].Reason)
 		}
-		return nil, Coverage{}, shards, degraded, nil,
+		return nil, Coverage{}, shards, degraded, nil, nil,
 			badGateway("strict merge: partition discovery incomplete (unreachable peers >= replication factor %d)",
 				c.cfg.Replication)
 	}
 	if len(samples) == 0 {
-		return nil, Coverage{}, shards, degraded, nil,
+		return nil, Coverage{}, shards, degraded, nil, nil,
 			badGateway("no shard reachable for any requested partition of %q", ds)
 	}
 	rng := randx.New(c.cfg.Seed ^ hashString(ds))
@@ -706,7 +730,7 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	for _, smp := range samples[1:] {
 		merged, err = core.Merge(merged, smp, rng)
 		if err != nil {
-			return nil, Coverage{}, shards, degraded, nil, fmt.Errorf("coordinator merge: %w", err)
+			return nil, Coverage{}, shards, degraded, nil, nil, fmt.Errorf("coordinator merge: %w", err)
 		}
 	}
 	if pinfo != nil {
@@ -716,7 +740,7 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 			pinfo.AchievedHalfWidth = hw
 		}
 	}
-	return merged, coverage(cov), shards, degraded, pinfo, nil
+	return merged, coverage(cov), shards, degraded, pinfo, skUnion, nil
 }
 
 // --- replicated ingest ---------------------------------------------------

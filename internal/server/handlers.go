@@ -16,6 +16,7 @@ import (
 	"samplewh/internal/estimate"
 	"samplewh/internal/obs"
 	"samplewh/internal/plan"
+	"samplewh/internal/sketch"
 	"samplewh/internal/wal"
 	"samplewh/internal/warehouse"
 )
@@ -134,13 +135,18 @@ type Coverage struct {
 	// error or time bound was met without them. Unlike Skipped they do not
 	// make the answer degraded — it is exactly as partial as the caller's
 	// ?maxerr=/?maxtime= allowed.
-	Pruned  []string `json:"pruned,omitempty"`
-	Partial bool     `json:"partial"`
+	Pruned []string `json:"pruned,omitempty"`
+	// SketchPruned lists partitions whose sketch sidecar proved no value in
+	// the query's range, so they were never loaded. Unlike Pruned their
+	// contribution is known exactly (zero matches over a known population):
+	// the answer is byte-identical to one computed without pruning.
+	SketchPruned []string `json:"sketch_pruned,omitempty"`
+	Partial      bool     `json:"partial"`
 }
 
 func coverage(cov warehouse.MergeCoverage) Coverage {
 	out := Coverage{Requested: cov.Requested, Merged: cov.Merged,
-		Pruned: cov.Pruned, Partial: cov.Partial()}
+		Pruned: cov.Pruned, SketchPruned: cov.SketchPruned, Partial: cov.Partial()}
 	for _, sk := range cov.Skipped {
 		out.Skipped = append(out.Skipped, SkippedPartition{ID: sk.ID, Reason: sk.Reason})
 	}
@@ -169,6 +175,12 @@ type PlanInfo struct {
 	AchievedHalfWidth float64 `json:"achieved_half_width"`
 	CoveredPopulation int64   `json:"covered_population"`
 	TotalPopulation   int64   `json:"total_population"`
+	// SketchPruned counts partitions dropped from the plan because their
+	// sketch sidecar proved zero range overlap; ProvenZeroPopulation is their
+	// summed population — counted in TotalPopulation, contributing exactly
+	// zero matches.
+	SketchPruned         int   `json:"sketch_pruned,omitempty"`
+	ProvenZeroPopulation int64 `json:"proven_zero_population,omitempty"`
 }
 
 // planInfo converts a warehouse plan execution to its wire form.
@@ -177,16 +189,17 @@ func planInfo(b plan.Bounds, exec *warehouse.PlanExecution) *PlanInfo {
 		return nil
 	}
 	return &PlanInfo{
-		MaxErr:            b.MaxErr,
-		MaxTimeNS:         int64(b.MaxTime),
-		Partitions:        len(exec.Plan.Steps),
-		PredictedStop:     exec.Plan.PredictedStop,
-		Loaded:            exec.Loaded,
-		Pruned:            len(exec.Plan.Steps) - exec.Loaded,
-		StopReason:        exec.StopReason,
-		AchievedHalfWidth: exec.AchievedHalfWidth,
-		CoveredPopulation: exec.CoveredPop,
-		TotalPopulation:   exec.TotalPop,
+		MaxErr:               b.MaxErr,
+		MaxTimeNS:            int64(b.MaxTime),
+		Partitions:           len(exec.Plan.Steps),
+		PredictedStop:        exec.Plan.PredictedStop,
+		Loaded:               exec.Loaded,
+		Pruned:               len(exec.Plan.Steps) - exec.Loaded,
+		StopReason:           exec.StopReason,
+		AchievedHalfWidth:    exec.AchievedHalfWidth,
+		CoveredPopulation:    exec.CoveredPop,
+		TotalPopulation:      exec.TotalPop,
+		ProvenZeroPopulation: exec.ProvenZeroPop,
 	}
 }
 
@@ -212,33 +225,53 @@ type SampleResponse struct {
 	// Plan is set on bounded queries (?maxerr=/?maxtime=): the chosen plan
 	// and the early-stop decision.
 	Plan *PlanInfo `json:"plan,omitempty"`
+	// Sketch is the merged sketch sidecar of the covered partitions,
+	// populated on ?sketch=1 (the cluster coordinator uses it to union
+	// KMV/heavy-hitter state across shards without shipping samples twice).
+	Sketch *sketch.Summary `json:"sketch,omitempty"`
 	// TraceID and Trace are populated by ?explain=1: the request's span tree
 	// as of response assembly (the query EXPLAIN ANALYZE).
 	TraceID string            `json:"trace_id,omitempty"`
 	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
-// DistinctResult carries the three distinct-count estimators.
+// DistinctResult carries the distinct-count estimators. The sample-based
+// trio (InSample, Chao1, GEE) extrapolates from the merged sample; KMV is the
+// sketch-union answer, exact until the union saturates its K smallest-hash
+// slots and a small-relative-error estimate after. Method names the
+// authoritative estimator: "kmv" when every covered partition (and, in
+// cluster mode, every shard) contributed a sidecar that observed every row
+// (stream-built, or built from an exhaustive sample), "sample" otherwise. The
+// sample-based fallback is biased low on skewed multi-partition data — the
+// merged sample subsamples the union, losing rare values — so treat GEE as a
+// lower-confidence answer, not an upper bound.
 type DistinctResult struct {
 	InSample int64   `json:"in_sample"`
 	Chao1    float64 `json:"chao1"`
 	GEE      float64 `json:"gee"`
+	KMV      float64 `json:"kmv,omitempty"`
+	Method   string  `json:"method,omitempty"`
 }
 
 // EstimateResponse is the GET estimate body. Exactly one of Estimate,
 // Quantile, Distinct, TopK or Groups is populated, per the query kind; every
 // response carries the sample metadata and merge coverage.
 type EstimateResponse struct {
-	Dataset    string                        `json:"dataset"`
-	Query      string                        `json:"query"`
-	Confidence float64                       `json:"confidence"`
-	Estimate   *estimate.Estimate            `json:"estimate,omitempty"`
-	Quantile   *int64                        `json:"quantile,omitempty"`
-	Distinct   *DistinctResult               `json:"distinct,omitempty"`
-	TopK       []estimate.FreqEntry[int64]   `json:"topk,omitempty"`
-	Groups     []estimate.GroupResult[int64] `json:"groups,omitempty"`
-	Sample     SampleMeta                    `json:"sample"`
-	Coverage   Coverage                      `json:"coverage"`
+	Dataset    string                      `json:"dataset"`
+	Query      string                      `json:"query"`
+	Confidence float64                     `json:"confidence"`
+	Estimate   *estimate.Estimate          `json:"estimate,omitempty"`
+	Quantile   *int64                      `json:"quantile,omitempty"`
+	Distinct   *DistinctResult             `json:"distinct,omitempty"`
+	TopK       []estimate.FreqEntry[int64] `json:"topk,omitempty"`
+	// TopKHeavy is the sketch-union answer to topk queries (space-saving
+	// counts with per-entry error bounds), populated when every covered
+	// partition contributed a sidecar that observed every row; TopK stays
+	// the sample-scaled view.
+	TopKHeavy []sketch.HeavyHit             `json:"topk_heavy,omitempty"`
+	Groups    []estimate.GroupResult[int64] `json:"groups,omitempty"`
+	Sample    SampleMeta                    `json:"sample"`
+	Coverage  Coverage                      `json:"coverage"`
 	// Degraded mirrors Coverage.Partial: the answer stands on fewer
 	// partitions than requested (its intervals are honest but wider).
 	// Shards carries the per-shard outcomes when a cluster coordinator
@@ -718,6 +751,36 @@ func boundsParams(r *http.Request) (plan.Bounds, error) {
 	return b, nil
 }
 
+// pruneParam parses ?prune= (default on): whether range queries may use
+// sketch sidecars to skip partitions provably outside the range. Pruning
+// never changes the returned estimate — ?prune=0 exists for verification and
+// benchmarking, not correctness.
+func pruneParam(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("prune")
+	if raw == "" {
+		return true, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, badRequest("bad prune %q", raw)
+	}
+	return v, nil
+}
+
+// sketchParam parses ?sketch= (default off): whether a sample response
+// should carry the merged sketch sidecar of its covered partitions.
+func sketchParam(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("sketch")
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, badRequest("bad sketch %q", raw)
+	}
+	return v, nil
+}
+
 // confidenceParam parses ?confidence= (default 0.95).
 func confidenceParam(r *http.Request) (float64, error) {
 	confidence := 0.95
@@ -731,21 +794,23 @@ func confidenceParam(r *http.Request) (float64, error) {
 	return confidence, nil
 }
 
-// rangePred parses a count:LO..HI / fraction:LO..HI query into its kind and
-// range predicate — shared by answer() and the maxerr gate (these two kinds
-// are the only ones whose fraction-scale error a maxerr bound can promise).
-func rangePred(q string) (kind string, pred func(int64) bool, err error) {
+// rangePred parses a count:LO..HI / fraction:LO..HI query into its kind,
+// bounds and range predicate — shared by answer(), the maxerr gate (these
+// two kinds are the only ones whose fraction-scale error a maxerr bound can
+// promise) and the sketch pruning layer, which needs the raw bounds to test
+// sidecars against.
+func rangePred(q string) (kind string, lo, hi int64, pred func(int64) bool, err error) {
 	kind, spec, _ := strings.Cut(q, ":")
 	loRaw, hiRaw, ok := strings.Cut(spec, "..")
 	if !ok {
-		return "", nil, badRequest("bad range %q (want %s:LO..HI)", q, kind)
+		return "", 0, 0, nil, badRequest("bad range %q (want %s:LO..HI)", q, kind)
 	}
 	lo, err1 := strconv.ParseInt(loRaw, 10, 64)
 	hi, err2 := strconv.ParseInt(hiRaw, 10, 64)
 	if err1 != nil || err2 != nil || lo > hi {
-		return "", nil, badRequest("bad range bounds %q", q)
+		return "", 0, 0, nil, badRequest("bad range bounds %q", q)
 	}
-	return kind, func(v int64) bool { return v >= lo && v <= hi }, nil
+	return kind, lo, hi, func(v int64) bool { return v >= lo && v <= hi }, nil
 }
 
 // proxyEvaluator is the query-agnostic half-width evaluator used where no
@@ -753,13 +818,13 @@ func rangePred(q string) (kind string, pred func(int64) bool, err error) {
 // legs): the worst-case p=0.5 width upper-bounds any range query's, so a
 // bound met under the proxy holds for whatever estimate the caller — or a
 // coordinator — later builds from the covered sample.
-func proxyEvaluator(confidence float64) func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
-	return func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
-		hw, err := estimate.ProxyHalfWidth(acc.Size(), acc.ParentSize, totalPop, confidence)
+func proxyEvaluator(confidence float64) func(acc *core.Sample[int64], totalPop, provenZero int64) (float64, bool) {
+	return func(acc *core.Sample[int64], totalPop, provenZero int64) (float64, bool) {
+		z, err := estimate.ZCrit(confidence)
 		if err != nil {
 			return 0, false
 		}
-		return hw, true
+		return estimate.ProxyHalfWidthProvenZeroZ(acc.Size(), acc.ParentSize, totalPop, provenZero, z), true
 	}
 }
 
@@ -843,16 +908,21 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	wantSketch, err := sketchParam(r)
+	if err != nil {
+		return err
+	}
 	var (
 		smp      *core.Sample[int64]
 		cov      Coverage
 		shards   []ShardStatus
 		degraded bool
 		pinfo    *PlanInfo
+		skUnion  *sketch.Summary
 	)
 	switch {
 	case s.coordinated(r):
-		smp, cov, shards, degraded, pinfo, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence)
+		smp, cov, shards, degraded, pinfo, skUnion, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence, wantSketch)
 	case bounds.Bounded():
 		// The sample endpoint has no query kind, so a maxerr bound stops on
 		// the query-agnostic proxy width — conservative for any range query a
@@ -872,8 +942,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if wantSketch && skUnion == nil && !s.coordinated(r) {
+		// Best-effort: a partition without a rebuildable sidecar simply
+		// leaves the field empty and the caller falls back to the sample.
+		skUnion, _ = s.wh.DatasetSketch(r.Context(), ds, cov.Merged...)
+	}
 	resp := SampleResponse{Dataset: ds, Sample: sampleMeta(smp), Coverage: cov,
-		Degraded: degraded, Shards: shards, Plan: pinfo}
+		Degraded: degraded, Shards: shards, Plan: pinfo, Sketch: skUnion}
 	if explain {
 		resp.TraceID, resp.Trace = explainTrace(r)
 	}
@@ -923,41 +998,64 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	// A maxerr bound promises a fraction-scale half-width over the full
-	// requested population, which only the selectivity-style kinds define;
-	// other kinds can still be time-bounded.
+	prune, err := pruneParam(r)
+	if err != nil {
+		return err
+	}
+	// Parse range kinds up front: the sketch pruning layer needs the raw
+	// bounds, and a maxerr bound is only defined for these kinds (the only
+	// ones whose fraction-scale error it can promise); other kinds can still
+	// be time-bounded.
 	var pred func(int64) bool
+	var rlo, rhi int64
 	rangeKind := ""
-	if bounds.MaxErr > 0 {
-		if !strings.HasPrefix(q, "count:") && !strings.HasPrefix(q, "fraction:") {
-			return badRequest("maxerr applies only to count:LO..HI and fraction:LO..HI queries (got %q); use maxtime to bound other kinds", q)
-		}
-		rangeKind, pred, err = rangePred(q)
+	if strings.HasPrefix(q, "count:") || strings.HasPrefix(q, "fraction:") {
+		rangeKind, rlo, rhi, pred, err = rangePred(q)
 		if err != nil {
 			return err
 		}
 	}
+	if bounds.MaxErr > 0 && rangeKind == "" {
+		return badRequest("maxerr applies only to count:LO..HI and fraction:LO..HI queries (got %q); use maxtime to bound other kinds", q)
+	}
+	if rangeKind != "" && !s.coordinated(r) && !bounds.Bounded() {
+		// Local range queries run the stratified path: sketch sidecars
+		// prove-prune partitions with zero range overlap before the loader
+		// runs, with an estimate byte-identical to the unpruned one.
+		return s.handleEstimateRange(w, r, rangeQuery{
+			ds: ds, q: q, kind: rangeKind, lo: rlo, hi: rhi, pred: pred,
+			ids: ids, partial: partial, prune: prune,
+			confidence: confidence, explain: explain, start: start,
+		})
+	}
+	// Distinct/topk answers union sketch sidecars when every covered
+	// partition (and shard) has one; the merged sample stays the fallback.
+	wantSketch := q == "distinct" || strings.HasPrefix(q, "topk:")
 	var (
 		smp      *core.Sample[int64]
 		cov      Coverage
 		shards   []ShardStatus
 		degraded bool
 		pinfo    *PlanInfo
+		skUnion  *sketch.Summary
 	)
 	switch {
 	case s.coordinated(r):
-		smp, cov, shards, degraded, pinfo, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence)
+		smp, cov, shards, degraded, pinfo, skUnion, err = s.scatterMerged(r, ds, ids, partial, bounds, confidence, wantSketch)
 	case bounds.Bounded():
 		pq := warehouse.PlannedQuery[int64]{Bounds: bounds, Confidence: confidence}
 		if pred != nil {
 			p := pred
-			pq.HalfWidth = func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
-				e, herr := estimate.BoundedFraction(acc, p, confidence, totalPop)
+			pq.HalfWidth = func(acc *core.Sample[int64], totalPop, provenZero int64) (float64, bool) {
+				e, herr := estimate.BoundedFractionProvenZero(acc, p, confidence, totalPop, provenZero)
 				if herr != nil {
 					return 0, false
 				}
 				return estimate.HalfWidth(e), true
 			}
+		}
+		if rangeKind != "" && prune {
+			pq.SketchRange = &warehouse.SketchRange{Lo: rlo, Hi: rhi}
 		}
 		var exec *warehouse.PlanExecution
 		smp, cov, exec, err = s.mergedPlanned(r, ds, ids, partial, pq)
@@ -970,6 +1068,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if pinfo != nil {
+		pinfo.SketchPruned = len(cov.SketchPruned)
+	}
+	if wantSketch && skUnion == nil && !s.coordinated(r) {
+		skUnion, _ = s.wh.DatasetSketch(r.Context(), ds, cov.Merged...)
+	}
 	esp := obs.SpanFromContext(r.Context()).Start("estimate")
 	esp.SetLabel("q", q)
 	resp := EstimateResponse{
@@ -979,14 +1083,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	}
 	if rangeKind != "" && pinfo != nil {
 		// Bounded range queries answer over the full requested population:
-		// the interval carries the pruned partitions' worst case, so it stays
-		// honest no matter what the planner left unloaded.
+		// the interval carries the pruned partitions' worst case — and the
+		// proven-zero partitions' exactly-known zero — so it stays honest no
+		// matter what the planner left unloaded.
 		var e estimate.Estimate
 		var aerr error
 		if rangeKind == "count" {
-			e, aerr = estimate.BoundedCount(smp, pred, confidence, pinfo.TotalPopulation)
+			e, aerr = estimate.BoundedCountProvenZero(smp, pred, confidence, pinfo.TotalPopulation, pinfo.ProvenZeroPopulation)
 		} else {
-			e, aerr = estimate.BoundedFraction(smp, pred, confidence, pinfo.TotalPopulation)
+			e, aerr = estimate.BoundedFractionProvenZero(smp, pred, confidence, pinfo.TotalPopulation, pinfo.ProvenZeroPopulation)
 		}
 		if aerr != nil {
 			esp.SetError(aerr)
@@ -1005,7 +1110,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 			esp.SetError(nerr)
 			return badRequest("%v", nerr)
 		}
-		err = s.answer(&resp, est, smp, q)
+		err = s.answer(&resp, est, smp, q, skUnion)
 	}
 	esp.SetError(err)
 	esp.End()
@@ -1020,8 +1125,116 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// answer dispatches the query grammar against the estimator.
-func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], smp *core.Sample[int64], q string) error {
+// rangeQuery bundles one parsed count:/fraction: request for the stratified
+// range path.
+type rangeQuery struct {
+	ds, q, kind    string
+	lo, hi         int64
+	pred           func(int64) bool
+	ids            []string
+	partial, prune bool
+	confidence     float64
+	explain        bool
+	start          int64
+}
+
+// stratifiedMeta summarizes the stratified inputs behind a range answer:
+// the loaded strata plus the proven-zero populations the estimate also
+// covers. Kind "stratified" marks that no single merged sample backs it.
+func stratifiedMeta(st *core.Stratified[int64], zeros []estimate.ZeroStratum) SampleMeta {
+	var size, parent, footprint int64
+	if st != nil {
+		size, parent = st.SampleSize(), st.ParentSize()
+		for _, s := range st.Strata() {
+			footprint += s.Footprint()
+		}
+	}
+	for _, z := range zeros {
+		parent += z.Pop
+	}
+	meta := SampleMeta{Kind: "stratified", Size: size, ParentSize: parent, Footprint: footprint}
+	if parent > 0 {
+		meta.Fraction = float64(size) / float64(parent)
+	}
+	return meta
+}
+
+// handleEstimateRange answers local count:/fraction: queries through the
+// stratified estimator: partitions whose sketch sidecar proves zero overlap
+// with [lo, hi] enter the expansion as exact zero strata of known population
+// instead of being loaded. The substitution is an identity of the stratified
+// formulas, so the answer is byte-identical with pruning on (?prune=1, the
+// default) or off — the property the sketch bench asserts estimate-by-
+// estimate.
+func (s *Server) handleEstimateRange(w http.ResponseWriter, r *http.Request, rq rangeQuery) error {
+	if _, err := s.wh.Config(rq.ds); err != nil {
+		return notFound("unknown data set %q", rq.ds)
+	}
+	st, zeros, wcov, err := s.wh.StratifiedRange(r.Context(), rq.ds, rq.ids,
+		warehouse.SketchRange{Lo: rq.lo, Hi: rq.hi}, rq.prune, rq.partial)
+	if err != nil {
+		switch {
+		case strings.Contains(err.Error(), "has no partitions"),
+			strings.Contains(err.Error(), "no readable partitions"):
+			return notFound("%v", err)
+		case strings.Contains(err.Error(), "duplicate partition"):
+			return badRequest("%v", err)
+		}
+		return err
+	}
+	cov := coverage(wcov)
+	esp := obs.SpanFromContext(r.Context()).Start("estimate")
+	esp.SetLabel("q", rq.q)
+	var e estimate.Estimate
+	if st == nil {
+		// Every readable partition was proven out of range: zero matches,
+		// exactly — byte-identical to what the unpruned estimator returns
+		// for strata that contain no matching value (count and fraction
+		// alike). The answer is exact when every pruned partition held an
+		// exhaustive sample.
+		e = estimate.Estimate{Exact: true}
+		for _, z := range zeros {
+			if !z.Exhaustive {
+				e.Exact = false
+				break
+			}
+		}
+	} else {
+		est, nerr := estimate.NewStratifiedWithConfidence(st, rq.confidence)
+		if nerr != nil {
+			esp.SetError(nerr)
+			esp.End()
+			return badRequest("%v", nerr)
+		}
+		var aerr error
+		if rq.kind == "count" {
+			e, aerr = est.CountPruned(rq.pred, zeros)
+		} else {
+			e, aerr = est.FractionPruned(rq.pred, zeros)
+		}
+		if aerr != nil {
+			esp.SetError(aerr)
+			esp.End()
+			return badRequest("%v", aerr)
+		}
+	}
+	esp.End()
+	resp := EstimateResponse{
+		Dataset: rq.ds, Query: rq.q, Confidence: rq.confidence,
+		Estimate: &e, Sample: stratifiedMeta(st, zeros), Coverage: cov,
+		Degraded: cov.Partial, ElapsedNS: nowNS() - rq.start,
+	}
+	if rq.explain {
+		resp.TraceID, resp.Trace = explainTrace(r)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// answer dispatches the query grammar against the estimator. sk, when
+// non-nil, is the sketch union of the covered partitions — the authoritative
+// distinct/topk source, with the sample-based estimators kept alongside.
+func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], smp *core.Sample[int64], q string, sk *sketch.Summary) error {
 	setEst := func(e estimate.Estimate, err error) error {
 		if err != nil {
 			return badRequest("%v", err)
@@ -1041,6 +1254,18 @@ func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], 
 			InSample: est.DistinctNaive(),
 			Chao1:    est.DistinctChao1(),
 			GEE:      est.DistinctGEE(),
+			Method:   "sample",
+		}
+		if sk != nil {
+			resp.Distinct.KMV = sk.DistinctEstimate()
+			// KMV is authoritative only when the union observed every row:
+			// stream-built sidecars, or exhaustive samples (full frequency
+			// histograms). A sample-source union hashed only sampled values,
+			// so its distinct estimate is bounded by the sample and the
+			// extrapolating sample estimators remain the best answer.
+			if sk.Source == sketch.SourceStream || sk.Exhaustive {
+				resp.Distinct.Method = "kmv"
+			}
 		}
 		return nil
 	case strings.HasPrefix(q, "quantile:"):
@@ -1058,6 +1283,11 @@ func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], 
 		if resp.TopK == nil {
 			resp.TopK = []estimate.FreqEntry[int64]{}
 		}
+		// Heavy-hitter counts are population-scale only when the union
+		// observed every row; sample-scale counts would mislead.
+		if sk != nil && (sk.Source == sketch.SourceStream || sk.Exhaustive) {
+			resp.TopKHeavy = sk.TopK(k)
+		}
 		return nil
 	case strings.HasPrefix(q, "groupby:"):
 		div, err := strconv.ParseInt(strings.TrimPrefix(q, "groupby:"), 10, 64)
@@ -1071,7 +1301,7 @@ func (s *Server) answer(resp *EstimateResponse, est *estimate.Estimator[int64], 
 		resp.Groups = groups
 		return nil
 	case strings.HasPrefix(q, "count:"), strings.HasPrefix(q, "fraction:"):
-		kind, pred, err := rangePred(q)
+		kind, _, _, pred, err := rangePred(q)
 		if err != nil {
 			return err
 		}

@@ -18,7 +18,10 @@ import (
 
 func TestEstimateMaxErrStopsEarly(t *testing.T) {
 	s := newTestServer(t, Config{})
-	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3", "")
+	// prune=0 keeps sketch pruning out of the way: on this fixture the
+	// sidecars prove 3 of 4 partitions irrelevant up front, leaving the
+	// planner's early-stop machinery — what this test exercises — no work.
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3&prune=0", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
@@ -169,7 +172,7 @@ func TestUnboundedResponsesCarryNoPlan(t *testing.T) {
 
 func TestExplainShowsPlanSpan(t *testing.T) {
 	s := newTestServer(t, Config{Registry: obs.NewRegistry()})
-	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3&explain=1", "")
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3&prune=0&explain=1", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
@@ -201,7 +204,7 @@ func TestPlanMetricsExported(t *testing.T) {
 	wh := newTestWarehouse(t, 4, 1000)
 	wh.Instrument(reg)
 	s := New(wh, Config{Registry: reg})
-	if w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3", ""); w.Code != http.StatusOK {
+	if w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499&maxerr=0.3&prune=0", ""); w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
 	snap := reg.Snapshot()

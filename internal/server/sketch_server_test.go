@@ -1,0 +1,180 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"samplewh/internal/obs"
+)
+
+// sketchServer builds a server whose 4 partitions hold 100 sequential
+// values each — small enough that every stored sample is exhaustive, so the
+// sample-built sketch sidecars observed every row and sketch answers
+// (distinct, topk) are authoritative.
+func sketchServer(t *testing.T) *Server {
+	t.Helper()
+	return New(newTestWarehouse(t, 4, 100), Config{})
+}
+
+func TestRangeEstimatePruneByteIdentity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// A ladder of selectivities, including a range matching nothing and the
+	// full domain. For each, the pruned and unpruned answers must be
+	// byte-identical: sketch pruning removes work, never information.
+	for _, q := range []string{
+		"count:0..499", "count:1000..1999", "count:5000..6000",
+		"count:0..3999", "fraction:0..499", "fraction:2500..2599",
+	} {
+		on := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q="+q, "")
+		off := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q="+q+"&prune=0", "")
+		if on.Code != http.StatusOK || off.Code != http.StatusOK {
+			t.Fatalf("%s: status %d / %d: %s / %s", q, on.Code, off.Code, on.Body.String(), off.Body.String())
+		}
+		ron := decode[EstimateResponse](t, on)
+		roff := decode[EstimateResponse](t, off)
+		if ron.Estimate == nil || roff.Estimate == nil {
+			t.Fatalf("%s: missing estimate", q)
+		}
+		if !reflect.DeepEqual(*ron.Estimate, *roff.Estimate) {
+			t.Fatalf("%s: pruned estimate %+v differs from unpruned %+v", q, *ron.Estimate, *roff.Estimate)
+		}
+		// Sample meta reflects work actually done, so Size/Footprint shrink
+		// under pruning — but the population the answer covers must not.
+		if ron.Sample.ParentSize != roff.Sample.ParentSize {
+			t.Fatalf("%s: parent size %d differs from unpruned %d", q, ron.Sample.ParentSize, roff.Sample.ParentSize)
+		}
+		if len(roff.Coverage.SketchPruned) != 0 {
+			t.Fatalf("%s: prune=0 still pruned %v", q, roff.Coverage.SketchPruned)
+		}
+	}
+}
+
+func TestRangeEstimateSketchPruneCoverage(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=fraction:0..499", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[EstimateResponse](t, w)
+	// Partitions p1..p3 hold [1000,4000): all provably outside 0..499.
+	if got := len(resp.Coverage.SketchPruned); got != 3 {
+		t.Fatalf("sketch_pruned = %v, want 3 partitions", resp.Coverage.SketchPruned)
+	}
+	if len(resp.Coverage.Merged) != 1 {
+		t.Fatalf("merged = %v, want 1 partition", resp.Coverage.Merged)
+	}
+	// Sketch-pruned coverage is not degraded: the answer is exact about the
+	// pruned partitions' contribution.
+	if resp.Degraded || resp.Coverage.Partial {
+		t.Fatal("sketch pruning must not mark the answer degraded")
+	}
+	// Ground truth: 500 of 4000 values in range.
+	if resp.Estimate.Value < 0.1 || resp.Estimate.Value > 0.15 {
+		t.Fatalf("fraction = %g, want ≈ 0.125", resp.Estimate.Value)
+	}
+	// The pruned populations still count: meta parent covers all 4000 rows.
+	if resp.Sample.ParentSize != 4000 {
+		t.Fatalf("parent size %d, want 4000", resp.Sample.ParentSize)
+	}
+}
+
+func TestDistinctKMVMethod(t *testing.T) {
+	s := sketchServer(t)
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=distinct", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[EstimateResponse](t, w)
+	if resp.Distinct == nil {
+		t.Fatal("no distinct result")
+	}
+	if resp.Distinct.Method != "kmv" {
+		t.Fatalf("method %q, want kmv (exhaustive samples observe every row)", resp.Distinct.Method)
+	}
+	// 400 distinct values; the default KMV K is 256, so the union is
+	// saturated and estimates with ≈6% relative error.
+	if resp.Distinct.KMV < 300 || resp.Distinct.KMV > 500 {
+		t.Fatalf("kmv = %g, want ≈ 400", resp.Distinct.KMV)
+	}
+}
+
+func TestDistinctSampleMethodWhenNotExhaustive(t *testing.T) {
+	// 1000 values per partition against nF = 512: samples subsample, so the
+	// sidecars observed only sampled values and must not claim authority.
+	s := newTestServer(t, Config{})
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=distinct", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[EstimateResponse](t, w)
+	if resp.Distinct == nil {
+		t.Fatal("no distinct result")
+	}
+	if resp.Distinct.Method != "sample" {
+		t.Fatalf("method %q, want sample for non-exhaustive sidecars", resp.Distinct.Method)
+	}
+}
+
+func TestTopKHeavyFromSketch(t *testing.T) {
+	s := sketchServer(t)
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=topk:3", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[EstimateResponse](t, w)
+	if len(resp.TopKHeavy) == 0 {
+		t.Fatal("no sketch-union heavy hitters")
+	}
+	for _, h := range resp.TopKHeavy {
+		if h.Count < 1 {
+			t.Fatalf("heavy hit %+v has non-positive count", h)
+		}
+	}
+}
+
+func TestSampleSketchParam(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, http.MethodGet, "/v1/datasets/d/sample?sketch=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[SampleResponse](t, w)
+	if resp.Sketch == nil {
+		t.Fatal("?sketch=1 returned no sketch")
+	}
+	if resp.Sketch.Count != 4000 {
+		t.Fatalf("sketch count %d, want 4000", resp.Sketch.Count)
+	}
+	// Sample-built sidecars bound the observed (sampled) values, which lie
+	// inside the data's domain.
+	if resp.Sketch.Min < 0 || resp.Sketch.Max > 3999 || resp.Sketch.Min > resp.Sketch.Max {
+		t.Fatalf("sketch bounds [%d,%d] outside the domain [0,3999]", resp.Sketch.Min, resp.Sketch.Max)
+	}
+
+	// Without the flag the field stays absent.
+	w = do(t, s, http.MethodGet, "/v1/datasets/d/sample", "")
+	if resp := decode[SampleResponse](t, w); resp.Sketch != nil {
+		t.Fatal("sketch returned without ?sketch=1")
+	}
+}
+
+func TestSketchMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	wh := newTestWarehouse(t, 4, 1000)
+	wh.Instrument(reg)
+	s := New(wh, Config{Registry: reg})
+	if w := do(t, s, http.MethodGet, "/v1/datasets/d/estimate?q=count:0..499", ""); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sketch.prune_checks"] != 4 {
+		t.Fatalf("sketch.prune_checks = %d, want 4", snap.Counters["sketch.prune_checks"])
+	}
+	if snap.Counters["sketch.pruned_partitions"] != 3 {
+		t.Fatalf("sketch.pruned_partitions = %d, want 3", snap.Counters["sketch.pruned_partitions"])
+	}
+	if snap.Gauges["warehouse.partition_sketch_entries"] != 4 {
+		t.Fatalf("sketch gauge %v", snap.Gauges["warehouse.partition_sketch_entries"])
+	}
+}

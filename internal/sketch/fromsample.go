@@ -1,0 +1,40 @@
+package sketch
+
+import (
+	"math"
+
+	"samplewh/internal/core"
+)
+
+// FromSample backfills a Summary from a stored sample. The sketch proves
+// facts about the sample's value set (all a query can observe for the
+// partition), with moments and heavy counts scaled to population size by
+// ParentSize/SampleSize so merged summaries stay comparable with
+// stream-built ones. Count is the parent population; Observed is the sample
+// size. Returns an empty summary (which never prunes) for an empty sample.
+func FromSample(s *core.Sample[int64]) *Summary {
+	b := NewBuilder()
+	b.sum.Source = SourceSample
+	b.sum.Exhaustive = s.Kind == core.Exhaustive
+	n := s.Size()
+	if n == 0 {
+		sum := b.Summary()
+		sum.Count = s.ParentSize
+		return sum
+	}
+	scale := float64(s.ParentSize) / float64(n)
+	s.Hist.Each(func(v int64, count int64) {
+		// Scale each entry's count to population size, keeping at least 1
+		// so observed values never vanish from the heavy-hitter table.
+		sc := int64(math.Round(float64(count) * scale))
+		if sc < 1 {
+			sc = 1
+		}
+		b.AddN(v, sc)
+	})
+	sum := b.Summary()
+	// The builder accumulated scaled counts; pin the exact identities.
+	sum.Count = s.ParentSize
+	sum.Observed = n
+	return sum
+}

@@ -28,10 +28,16 @@ type instrumentable interface {
 //	warehouse.merge_ns                           merge latency histogram
 //	warehouse.<dataset>.partitions               live partition count (gauge)
 //	warehouse.partition_stats_entries            planner registry size (gauge)
+//	warehouse.partition_sketch_entries           sketch sidecar registry size (gauge)
 //	plan.plans                                   bounded queries planned (counter)
 //	plan.early_stops                             executions stopped before the full plan (counter)
 //	plan.partitions_pruned                       partitions a bounded query never loaded (counter)
 //	plan.stats_backfills                         registry entries repaired on the query path (counter)
+//	sketch.builds                                sidecars built at roll-in/attach (counter)
+//	sketch.backfills                             sidecars rebuilt lazily on the query path (counter)
+//	sketch.pruned_partitions                     partitions prove-pruned from range queries (counter)
+//	sketch.prune_checks                          partitions tested against a range sketch (counter)
+//	sketch.unions                                sketch-union distinct/topk answers served (counter)
 type whObs struct {
 	reg *obs.Registry
 
@@ -48,6 +54,12 @@ type whObs struct {
 	earlyStops       *obs.Counter
 	partitionsPruned *obs.Counter
 	statBackfills    *obs.Counter
+
+	sketchBuilds      *obs.Counter
+	sketchBackfills   *obs.Counter
+	sketchPruned      *obs.Counter
+	sketchPruneChecks *obs.Counter
+	sketchUnions      *obs.Counter
 
 	rollInSize  *obs.Histogram
 	mergeInputs *obs.Histogram
@@ -70,6 +82,11 @@ func newWHObs(r *obs.Registry) whObs {
 		earlyStops:        r.Counter("plan.early_stops"),
 		partitionsPruned:  r.Counter("plan.partitions_pruned"),
 		statBackfills:     r.Counter("plan.stats_backfills"),
+		sketchBuilds:      r.Counter("sketch.builds"),
+		sketchBackfills:   r.Counter("sketch.backfills"),
+		sketchPruned:      r.Counter("sketch.pruned_partitions"),
+		sketchPruneChecks: r.Counter("sketch.prune_checks"),
+		sketchUnions:      r.Counter("sketch.unions"),
 		rollInSize:        r.Histogram("warehouse.rollin_sample_size"),
 		mergeInputs:       r.Histogram("warehouse.merge_inputs"),
 		mergeNS:           r.Histogram("warehouse.merge_ns"),

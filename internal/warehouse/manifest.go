@@ -9,6 +9,7 @@ import (
 	"samplewh/internal/histogram"
 	"samplewh/internal/obs"
 	"samplewh/internal/randx"
+	"samplewh/internal/sketch"
 	"samplewh/internal/storage"
 )
 
@@ -42,6 +43,11 @@ type manifestDataset struct {
 	// registry existed still load under the same version: their partitions
 	// simply plan as "unknown" until the first planned query backfills them.
 	Stats map[string]manifestPartitionStats `json:"partition_stats,omitempty"`
+	// Sketches is the per-partition sidecar registry (see sketches.go). Also
+	// optional under the same version: partitions without sidecars are
+	// backfilled from their stored samples the first time a sketch-assisted
+	// query loads them, or by swcli fsck -fix.
+	Sketches map[string]*sketch.Summary `json:"partition_sketches,omitempty"`
 }
 
 // manifestPartitionStats is one registry entry as persisted: the roll-in
@@ -91,9 +97,46 @@ func (w *Warehouse[V]) buildManifest() manifest {
 				}
 			}
 		}
+		if len(ds.sketches) > 0 {
+			md.Sketches = make(map[string]*sketch.Summary, len(ds.sketches))
+			for id, sk := range ds.sketches {
+				md.Sketches[id] = sk
+			}
+		}
 		m.Datasets[name] = md
 	}
 	return m
+}
+
+// PersistCatalog turns on the durable catalog for a warehouse built with
+// New: the current in-memory catalog — including the partition stats and
+// sketch registries — is written to the store's blob side channel
+// immediately, and every subsequent catalog mutation rewrites it, exactly
+// as on an Open-built warehouse. It errors when the store has no blob
+// support. swcli uses it to adopt a directory it manages; a caller that did
+// not create the store's manifest should check HasManifest first, since the
+// write replaces whatever catalog is there.
+func (w *Warehouse[V]) PersistCatalog() error {
+	blob, ok := w.store.(storage.BlobStore)
+	if !ok {
+		return fmt.Errorf("warehouse: persist catalog: store has no blob support: %w", storage.ErrBlobsUnsupported)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.blob = blob
+	return w.saveManifest()
+}
+
+// HasManifest reports whether the store carries a durable warehouse catalog
+// (written by Open-built warehouses or PersistCatalog). Stores without blob
+// support never do.
+func HasManifest[V comparable](store storage.Store[V]) bool {
+	blob, ok := store.(storage.BlobStore)
+	if !ok {
+		return false
+	}
+	_, err := blob.GetBlob(manifestName)
+	return err == nil
 }
 
 // saveManifest persists the catalog through the blob side channel. It is a
@@ -107,6 +150,19 @@ func (w *Warehouse[V]) saveManifest() error {
 		return fmt.Errorf("warehouse: encode manifest: %w", err)
 	}
 	if err := w.blob.PutBlob(manifestName, data); err != nil {
+		return fmt.Errorf("warehouse: save manifest: %w", err)
+	}
+	return nil
+}
+
+// saveManifestBlob persists an explicitly built manifest — the offline path
+// used by FsckSketches, which repairs the catalog without a live warehouse.
+func saveManifestBlob(blob storage.BlobStore, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("warehouse: encode manifest: %w", err)
+	}
+	if err := blob.PutBlob(manifestName, data); err != nil {
 		return fmt.Errorf("warehouse: save manifest: %w", err)
 	}
 	return nil
@@ -187,6 +243,17 @@ func Open[V comparable](store storage.Store[V], seed uint64) (*Warehouse[V], *Re
 			return nil, nil, fmt.Errorf("warehouse: manifest data set %q: %w", name, err)
 		}
 		ds := &dataset{cfg: norm, partitions: append([]string{}, md.Partitions...)}
+		if len(md.Sketches) > 0 {
+			ds.sketches = make(map[string]*sketch.Summary, len(md.Sketches))
+			for id, sk := range md.Sketches {
+				// Corrupt or version-skewed sidecars are dropped here so the
+				// query path rebuilds them; fsck reads the raw manifest and
+				// still reports them.
+				if validSketch(sk) != nil {
+					ds.sketches[id] = sk
+				}
+			}
+		}
 		if len(md.Stats) > 0 {
 			ds.stats = make(map[string]PartitionStats, len(md.Stats))
 			for id, st := range md.Stats {
@@ -241,6 +308,7 @@ func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
 			} else {
 				rep.Dangling = append(rep.Dangling, k)
 				delete(ds.stats, p)
+				delete(ds.sketches, p)
 				w.ld.dropEWMA(k)
 				changed = true
 			}
@@ -249,6 +317,7 @@ func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
 		rep.Partitions += len(kept)
 	}
 	w.statGauge()
+	w.sketchGauge()
 	rep.Datasets = len(w.sets)
 	for _, k := range keys {
 		if !claimed[k] {

@@ -11,6 +11,7 @@ import (
 	"samplewh/internal/estimate"
 	"samplewh/internal/obs"
 	"samplewh/internal/plan"
+	"samplewh/internal/sketch"
 )
 
 // PlannedQuery configures one bounded merge (DESIGN.md §14).
@@ -22,10 +23,18 @@ type PlannedQuery[V comparable] struct {
 	// stop decision always uses HalfWidth.
 	Confidence float64
 	// HalfWidth returns the fraction-scale half-width of the answer the
-	// caller would build from acc extended to totalPop elements (see
-	// estimate.BoundedFraction), or ok=false when the query kind defines no
-	// error bound (a maxtime-only query). Required when Bounds.MaxErr > 0.
-	HalfWidth func(acc *core.Sample[V], totalPop int64) (float64, bool)
+	// caller would build from acc extended to totalPop elements, of which
+	// provenZero are sketch-proven to contribute no matches (see
+	// estimate.BoundedFractionProvenZero), or ok=false when the query kind
+	// defines no error bound (a maxtime-only query). Required when
+	// Bounds.MaxErr > 0.
+	HalfWidth func(acc *core.Sample[V], totalPop, provenZero int64) (float64, bool)
+	// SketchRange, when non-nil, is the query's value range: partitions
+	// whose sketch sidecar proves zero overlap are dropped from the plan
+	// before the loader runs (reported as SketchPruned, their population in
+	// ProvenZeroPop), and surviving steps are weighted by sketch overlap so
+	// the planner loads probable contributors first.
+	SketchRange *SketchRange
 }
 
 // PlanExecution reports how a bounded merge actually ran.
@@ -46,7 +55,11 @@ type PlanExecution struct {
 	// coverage fraction in the bounded interval.
 	CoveredPop int64
 	TotalPop   int64
-	ElapsedNS  int64
+	// ProvenZeroPop is the population of partitions a sketch sidecar proved
+	// out of the query's range — counted in TotalPop, never loaded, and
+	// contributing exactly zero matches to the answer's interval.
+	ProvenZeroPop int64
+	ElapsedNS     int64
 }
 
 // waveCap bounds one load wave. Waves are sized by the planner's prediction
@@ -96,6 +109,10 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 			known[id] = st
 		}
 	}
+	var sketches map[string]*sketch.Summary
+	if ok && q.SketchRange != nil {
+		sketches = sketchSnapshotLocked(ds, ids)
+	}
 	w.mu.RUnlock()
 	if !ok {
 		return nil, cov, nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
@@ -105,12 +122,23 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 	}
 	cov.Requested = ids
 	seen := make(map[string]bool, len(ids))
-	stats := make([]plan.PartitionStat, len(ids))
-	for i, id := range ids {
+	stats := make([]plan.PartitionStat, 0, len(ids))
+	var provenZero int64
+	for _, id := range ids {
 		if seen[id] {
 			return nil, cov, nil, fmt.Errorf("warehouse: duplicate partition %q in merge set", id)
 		}
 		seen[id] = true
+		if sk := sketches[id]; sk != nil {
+			w.o.sketchPruneChecks.Inc()
+			if sk.ProvablyOutside(q.SketchRange.Lo, q.SketchRange.Hi) {
+				// Proven irrelevant before the loader runs: its population
+				// joins the total with an exactly-zero contribution.
+				cov.SketchPruned = append(cov.SketchPruned, id)
+				provenZero += sk.Count
+				continue
+			}
+		}
 		key := w.key(dataset, id)
 		ps := plan.PartitionStat{
 			ID:     id,
@@ -123,7 +151,28 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 			ps.ParentSize = st.ParentSize
 			ps.Footprint = st.Footprint
 		}
-		stats[i] = ps
+		if sk := sketches[id]; sk != nil {
+			ps.Weight = sk.RangeOverlap(q.SketchRange.Lo, q.SketchRange.Hi)
+		}
+		stats = append(stats, ps)
+	}
+	w.o.sketchPruned.Add(int64(len(cov.SketchPruned)))
+	if len(stats) == 0 {
+		// Every partition was proven out of range. Un-prune the first so the
+		// executor still produces a sample to answer from; the loaded
+		// stratum contributes its provably-zero matches honestly.
+		id := cov.SketchPruned[0]
+		cov.SketchPruned = cov.SketchPruned[1:]
+		provenZero -= sketches[id].Count
+		key := w.key(dataset, id)
+		ps := plan.PartitionStat{ID: id, Cached: w.ld.resident(key), LoadNS: w.ld.ewmaNS(key)}
+		if st, ok := known[id]; ok {
+			ps.Known = true
+			ps.SampleSize = st.SampleSize
+			ps.ParentSize = st.ParentSize
+			ps.Footprint = st.Footprint
+		}
+		stats = append(stats, ps)
 	}
 
 	confidence := q.Confidence
@@ -137,7 +186,12 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 	pl := plan.Build(stats, q.Bounds, plan.Config{Confidence: confidence})
 	w.o.plans.Inc()
 
-	exec := &PlanExecution{Plan: pl, TotalPop: pl.TotalPop, AchievedHalfWidth: -1}
+	exec := &PlanExecution{
+		Plan:              pl,
+		TotalPop:          pl.TotalPop + provenZero,
+		ProvenZeroPop:     provenZero,
+		AchievedHalfWidth: -1,
+	}
 
 	// The whole bounded query runs under one "plan" span: its load/merge
 	// children partition the execution time and its labels carry the chosen
@@ -145,7 +199,11 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 	planSpan := obs.SpanFromContext(ctx).Start("plan")
 	planSpan.SetValue("partitions", int64(len(pl.Steps)))
 	planSpan.SetValue("predicted_stop", int64(pl.PredictedStop))
-	planSpan.SetValue("total_population", pl.TotalPop)
+	planSpan.SetValue("total_population", exec.TotalPop)
+	if len(cov.SketchPruned) > 0 {
+		planSpan.SetValue("sketch_pruned", int64(len(cov.SketchPruned)))
+		planSpan.SetValue("proven_zero_population", provenZero)
+	}
 	if q.Bounds.MaxErr > 0 {
 		planSpan.SetLabel("maxerr", strconv.FormatFloat(q.Bounds.MaxErr, 'g', -1, 64))
 	}
@@ -188,7 +246,7 @@ func (w *Warehouse[V]) MergedSamplePlanned(ctx context.Context, dataset string, 
 		if acc == nil || q.HalfWidth == nil || unknownLeft > 0 {
 			return false
 		}
-		hw, ok := q.HalfWidth(acc, exec.TotalPop)
+		hw, ok := q.HalfWidth(acc, exec.TotalPop, exec.ProvenZeroPop)
 		if !ok {
 			return false
 		}

@@ -18,13 +18,13 @@ import (
 // proxyHW adapts estimate.ProxyHalfWidth as a planned query's half-width
 // evaluator — the same query-agnostic worst case the server's sample endpoint
 // uses.
-func proxyHW(confidence float64) func(*core.Sample[int64], int64) (float64, bool) {
-	return func(acc *core.Sample[int64], totalPop int64) (float64, bool) {
-		hw, err := estimate.ProxyHalfWidth(acc.Size(), acc.ParentSize, totalPop, confidence)
+func proxyHW(confidence float64) func(*core.Sample[int64], int64, int64) (float64, bool) {
+	return func(acc *core.Sample[int64], totalPop, provenZero int64) (float64, bool) {
+		z, err := estimate.ZCrit(confidence)
 		if err != nil {
 			return 0, false
 		}
-		return hw, true
+		return estimate.ProxyHalfWidthProvenZeroZ(acc.Size(), acc.ParentSize, totalPop, provenZero, z), true
 	}
 }
 

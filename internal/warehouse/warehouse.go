@@ -19,6 +19,7 @@ import (
 	"samplewh/internal/obs"
 	"samplewh/internal/randx"
 	"samplewh/internal/samplecache"
+	"samplewh/internal/sketch"
 	"samplewh/internal/storage"
 )
 
@@ -118,6 +119,10 @@ type dataset struct {
 	// stats is the planner's per-partition statistics registry, maintained at
 	// roll-in/attach/roll-out and persisted in the manifest (see stats.go).
 	stats map[string]PartitionStats
+	// sketches is the per-partition summary sidecar registry (see
+	// sketches.go), maintained on the same lifecycle as stats and persisted
+	// in the manifest.
+	sketches map[string]*sketch.Summary
 }
 
 // New creates a warehouse over the given store, seeding all merge
@@ -162,6 +167,7 @@ func (w *Warehouse[V]) Instrument(reg *obs.Registry) {
 	// A registry attached after partitions were rolled in starts from the
 	// catalog's current state rather than zero.
 	w.statGauge()
+	w.sketchGauge()
 }
 
 // CreateDataset registers a data set. It errors if the name is empty,
@@ -252,6 +258,33 @@ func (w *Warehouse[V]) NewSampler(dataset string, expectedN int64) (core.Sampler
 // so a client retrying after a crash or timeout converges instead of
 // erroring.
 func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) error {
+	return w.rollIn(dataset, partitionID, s, nil)
+}
+
+// RollInSketched is RollIn with a stream-built sketch sidecar: the ingest
+// path fed every partition value through a sketch.Builder next to the
+// sampler, so the sidecar's facts are exact over the full partition rather
+// than derived from the sample. The sketch must summarize exactly the
+// partition (Count == s.ParentSize); its Exhaustive flag is stamped from
+// the sample's kind. A nil sketch falls back to RollIn's sample-derived
+// sidecar.
+func (w *Warehouse[V]) RollInSketched(dataset, partitionID string, s *core.Sample[V], sk *sketch.Summary) error {
+	if sk != nil {
+		if err := sk.Validate(); err != nil {
+			return fmt.Errorf("warehouse: roll-in sketch invalid: %w", err)
+		}
+		if s != nil && sk.Count != s.ParentSize {
+			return fmt.Errorf("warehouse: roll-in sketch covers %d rows, sample parent is %d",
+				sk.Count, s.ParentSize)
+		}
+		sk = sk.Clone()
+	}
+	return w.rollIn(dataset, partitionID, s, sk)
+}
+
+// rollIn is the shared roll-in path; sk, when non-nil, is a validated
+// stream-built sidecar (already cloned).
+func (w *Warehouse[V]) rollIn(dataset, partitionID string, s *core.Sample[V], sk *sketch.Summary) error {
 	if partitionID == "" || strings.ContainsAny(partitionID, "/") {
 		return fmt.Errorf("warehouse: invalid partition id %q", partitionID)
 	}
@@ -289,6 +322,13 @@ func (w *Warehouse[V]) RollIn(dataset, partitionID string, s *core.Sample[V]) er
 		ds.partitions = append(ds.partitions, partitionID)
 	}
 	w.setStat(ds, partitionID, s)
+	if sk != nil {
+		sk.Exhaustive = s.Kind == core.Exhaustive
+		w.o.sketchBuilds.Inc()
+	} else {
+		sk = w.autoSketch(s)
+	}
+	w.setSketch(ds, partitionID, sk)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}
@@ -337,9 +377,11 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 	}
 	ds.partitions = append(ds.partitions, partitionID)
 	w.setStat(ds, partitionID, s)
+	w.setSketch(ds, partitionID, w.autoSketch(s))
 	if err := w.saveManifest(); err != nil {
 		ds.partitions = ds.partitions[:len(ds.partitions)-1]
 		w.dropStat(ds, partitionID)
+		w.dropSketch(ds, partitionID)
 		return err
 	}
 	w.ld.invalidate(w.key(dataset, partitionID))
@@ -384,6 +426,7 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 	w.ld.dropEWMA(w.key(dataset, partitionID))
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
 	w.dropStat(ds, partitionID)
+	w.dropSketch(ds, partitionID)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}
@@ -455,12 +498,16 @@ type SkippedPartition struct {
 // covered. Skipped is empty for a full-coverage merge. Pruned lists
 // partitions a bounded query's planner deliberately never loaded (see
 // MergedSamplePlanned); unlike Skipped they do not make the answer degraded —
-// the caller asked for exactly this trade.
+// the caller asked for exactly this trade. SketchPruned lists partitions a
+// sketch sidecar proved irrelevant to the query's range before the loader
+// ran (see sketchrange.go); unlike cost-pruned partitions their contribution
+// is known exactly (zero matches), so the answer is unchanged, not partial.
 type MergeCoverage struct {
-	Requested []string
-	Merged    []string
-	Skipped   []SkippedPartition
-	Pruned    []string
+	Requested    []string
+	Merged       []string
+	Skipped      []SkippedPartition
+	Pruned       []string
+	SketchPruned []string
 }
 
 // Partial reports whether any requested partition was skipped.

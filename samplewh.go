@@ -46,6 +46,7 @@ import (
 	"samplewh/internal/randx"
 	"samplewh/internal/samplecache"
 	"samplewh/internal/server"
+	"samplewh/internal/sketch"
 	"samplewh/internal/storage"
 	"samplewh/internal/stream"
 	"samplewh/internal/wal"
@@ -343,6 +344,59 @@ func BoundedFraction[V comparable](s *Sample[V], pred func(V) bool, confidence f
 // BoundedCount is BoundedFraction scaled to a count of the full population.
 func BoundedCount[V comparable](s *Sample[V], pred func(V) bool, confidence float64, totalPop int64) (Estimate, error) {
 	return estimate.BoundedCount(s, pred, confidence, totalPop)
+}
+
+// SketchSummary is a partition's mergeable summary sidecar: count, min/max,
+// first two moments, a KMV distinct sketch and a space-saving heavy-hitter
+// table (DESIGN.md §15). Sidecars are built at roll-in, persisted in the
+// manifest, and drive prove-pruning of range queries, planner ranking and
+// sketch-assisted distinct/topk answers.
+type SketchSummary = sketch.Summary
+
+// HeavyHit is one space-saving counter of a sketch's heavy-hitter table:
+// Value occurred at least Count-Err and at most Count times.
+type HeavyHit = sketch.HeavyHit
+
+// NewSketchBuilder streams values into a sketch sidecar; pass its Summary
+// to Warehouse.RollInSketched so the sidecar states facts about the full
+// partition rather than the stored sample.
+func NewSketchBuilder() *sketch.Builder { return sketch.NewBuilder() }
+
+// SketchFromSample derives a sidecar from a stored sample (the RollIn
+// default and the fsck -fix rebuild path).
+func SketchFromSample(s *Sample[int64]) *sketch.Summary { return sketch.FromSample(s) }
+
+// MergeSketches unions sidecars; the result is identical to a single-pass
+// sketch of the underlying union, so any merge topology is sound.
+func MergeSketches(sums ...*SketchSummary) *SketchSummary { return sketch.MergeAll(sums...) }
+
+// SketchRange is the value range a planned query proves partitions in or
+// out of via their sidecars.
+type SketchRange = warehouse.SketchRange
+
+// SketchFsckReport summarizes one sidecar audit (swcli fsck's sketch pass).
+type SketchFsckReport = warehouse.SketchFsckReport
+
+// FsckSketches audits a store's manifest sketch sidecars offline, rebuilding
+// defective ones from the stored samples when fix is set.
+func FsckSketches(store Store, fix bool) (*SketchFsckReport, error) {
+	return warehouse.FsckSketches(store, fix)
+}
+
+// ZeroStratum is a prove-pruned partition's contribution to a stratified
+// estimate: zero matches over a known population, exactly.
+type ZeroStratum = estimate.ZeroStratum
+
+// BoundedFractionProvenZero extends BoundedFraction with provenZero rows
+// proven (via sketch sidecars) to contain no matches: they count toward the
+// denominator with zero uncertainty, so pruning never widens the interval.
+func BoundedFractionProvenZero[V comparable](s *Sample[V], pred func(V) bool, confidence float64, totalPop, provenZero int64) (Estimate, error) {
+	return estimate.BoundedFractionProvenZero(s, pred, confidence, totalPop, provenZero)
+}
+
+// BoundedCountProvenZero is BoundedFractionProvenZero scaled to a count.
+func BoundedCountProvenZero[V comparable](s *Sample[V], pred func(V) bool, confidence float64, totalPop, provenZero int64) (Estimate, error) {
+	return estimate.BoundedCountProvenZero(s, pred, confidence, totalPop, provenZero)
 }
 
 // QueryConfig tunes the warehouse read path: the decoded-sample cache budget
