@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test bench bench-query bench-plan bench-sketch bench-serve bench-cluster smoke-serve chaos chaos-cluster fuzz
+.PHONY: check fmt vet build test bench bench-query bench-plan bench-sketch bench-serve bench-cluster bench-repair smoke-serve chaos chaos-cluster fuzz
 
 check: fmt vet build test
 
@@ -54,6 +54,13 @@ bench-serve:
 # written to BENCH_cluster.json.
 bench-cluster:
 	go run ./cmd/swbench -exp cluster -clshards 1,2,4 -clclients 8 -cldur 2s -json BENCH_cluster.json
+
+# Self-healing replication drill (DESIGN.md §16): kill a replica, ingest
+# through the survivors, restart it, and measure convergence time; fails
+# unless the healed cluster answers strict full-coverage queries with samples
+# identical to a never-failed control. Written to BENCH_repair.json.
+bench-repair:
+	go run ./cmd/swbench -exp repair -rshards 3 -rparts 8 -json BENCH_repair.json
 
 # Boot a real swd, hit every endpoint once with curl + swcli query, then
 # SIGTERM it and require a clean drain (exit 0). The one-query-per-endpoint

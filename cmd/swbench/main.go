@@ -69,7 +69,7 @@ type jsonDocument struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, plan, sketch, serve, cluster, chaos, all")
+		exp         = flag.String("exp", "all", "experiment: fig5, fig9..fig16, concise, uniformity, calibration, faults, querypath, plan, sketch, serve, cluster, chaos, repair, all")
 		full        = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
 		logN        = flag.Int("logn", 0, "speedup population size exponent (default 22, paper 26)")
 		partsFlag   = flag.String("parts", "", "comma-separated partition counts")
@@ -98,6 +98,9 @@ func main() {
 		pparts      = flag.Int("pparts", 32, "plan experiment: partition count")
 		pmaxerr     = flag.String("pmaxerr", "0.05,0.1,0.2,0.3", "plan experiment: comma-separated maxerr ladder, loosest last")
 		skparts     = flag.Int("skparts", 32, "sketch experiment: partition count")
+		rparts      = flag.Int("rparts", 8, "repair experiment: partitions per ingest wave")
+		rshards     = flag.Int("rshards", 3, "repair experiment: cluster size")
+		rper        = flag.Int("rper", 2048, "repair experiment: values per partition")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		metricsAddr = flag.String("metrics", "", "instrument the pipelines and serve expvar+pprof at this address")
 	)
@@ -209,6 +212,11 @@ func main() {
 		case "cluster":
 			r, err := experiments.Cluster(experiments.ClusterConfig{
 				Shards: parseInts(*clShards), Clients: *clClients, Dur: *clDur,
+			}, opt)
+			return emit(name, r, err)
+		case "repair":
+			r, err := experiments.Repair(experiments.RepairConfig{
+				Shards: *rshards, Parts: *rparts, Per: *rper,
 			}, opt)
 			return emit(name, r, err)
 		case "chaos":

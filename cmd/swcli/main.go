@@ -143,14 +143,15 @@ commands:
   rollout  -ds NAME -part ID
   fsck     [-fix]   (verify samples, quarantine corrupt ones, reconcile catalog,
            check wal/ segments for torn tails and orphans, audit sketch
-           sidecars — -fix rebuilds missing/stale/corrupt ones)
+           sidecars and anti-entropy content hashes — -fix rebuilds
+           missing/stale/corrupt ones)
   query    -addr URL [-ds NAME [-q QUERY]] [-part IDS] [-strict] [-timeout D]
            [-confidence 0.95] [-maxerr E] [-maxtime D] [-explain] [-json]
            (against a running swd; no -dir needed. -maxerr/-maxtime bound the
            merge: the server loads partitions in plan order and stops early)
   slowlog  -addr URL [-json]   (a running swd's slow-query log with span trees)
-  cluster  status -addr URL [-json]   (a cluster node's membership, breaker and
-           placement view via GET /clusterz)`)
+  cluster  status -addr URL [-json]   (a cluster node's membership, breaker,
+           placement and self-healing repair view via GET /clusterz)`)
 }
 
 func fatal(err error) {
@@ -609,9 +610,11 @@ func (c *cli) rollout(args []string) error {
 // -fix, catalog entries whose samples are gone (dangling) are dropped, torn
 // journal tails are truncated back to the last valid frame, and fully
 // committed journal segments are removed; orphan samples are reported but
-// never deleted. A final pass audits the manifest's sketch sidecars —
-// missing, stale, or corrupt summaries are reported and, with -fix, rebuilt
-// from the stored samples.
+// never deleted. Two final passes audit the manifest's sidecar state: sketch
+// summaries (missing, stale, or corrupt ones are reported and, with -fix,
+// rebuilt from the stored samples) and the partition content hashes cluster
+// anti-entropy compares (missing or byte-disagreeing hashes are reported
+// and, with -fix, recomputed from the stored bytes).
 func (c *cli) fsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	fix := fs.Bool("fix", false, "repair: drop dangling catalog entries")
@@ -754,7 +757,26 @@ func (c *cli) fsck(args []string) error {
 	}
 	sketchProblems := skRep.Problems() - len(skRep.Fixed)
 
-	problems := len(corrupt) + len(orphans) + walProblems + sketchProblems
+	// Pass 6: partition content hashes. Cluster anti-entropy compares these
+	// digests to decide whether a replica's copy is stale, so a hash that
+	// disagrees with the stored bytes would mask (or fake) divergence. With
+	// -fix, hashes are recomputed from the bytes on disk.
+	hRep, err := warehouse.FsckHashes(c.st, *fix)
+	if err != nil {
+		return fmt.Errorf("fsck: hashes: %w", err)
+	}
+	for _, k := range hRep.Missing {
+		fmt.Printf("content hash missing: %s (-fix computes from the stored bytes)\n", k)
+	}
+	for _, k := range hRep.Mismatched {
+		fmt.Printf("content hash mismatch: %s (-fix recomputes from the stored bytes)\n", k)
+	}
+	for _, k := range hRep.Fixed {
+		fmt.Printf("content hash rewritten: %s\n", k)
+	}
+	hashProblems := hRep.Problems() - len(hRep.Fixed)
+
+	problems := len(corrupt) + len(orphans) + walProblems + sketchProblems + hashProblems
 	if !*fix {
 		problems += len(dangling)
 	}
@@ -1027,6 +1049,22 @@ func clusterCmd(args []string) error {
 	for _, pl := range st.Placement {
 		fmt.Printf("data set %s: %d partitions, primaries per shard %v\n",
 			pl.Dataset, pl.Partitions, pl.PrimaryCounts)
+	}
+	if rep := st.Repair; rep != nil {
+		fmt.Printf("repair: interval=%s sweeps=%d pulls=%d (errors %d)\n",
+			time.Duration(rep.IntervalNS), rep.Sweeps, rep.Pulls, rep.PullErrors)
+		if rep.LastSweepUnixNS > 0 {
+			fmt.Printf("  last sweep %s ago (%.2fms)\n",
+				time.Since(time.Unix(0, rep.LastSweepUnixNS)).Round(time.Second),
+				float64(rep.LastSweepDurationNS)/1e6)
+		}
+		fmt.Printf("  hints: pending=%d replayed=%d dropped=%d\n",
+			rep.HintsPending, rep.HintsReplayed, rep.HintsDropped)
+		if rep.ReadRepair {
+			fmt.Printf("  read repair: on, backlog=%d\n", rep.ReadRepairBacklog)
+		} else {
+			fmt.Println("  read repair: off")
+		}
 	}
 	return nil
 }

@@ -20,6 +20,9 @@
 //	DELETE /v1/datasets/{ds}/partitions/{part}        roll-out
 //	GET    /v1/datasets/{ds}/sample                   merged sample of a partition subset
 //	GET    /v1/datasets/{ds}/estimate                 approximate query with confidence interval
+//	GET    /antientropy/digest                        partition inventory digest (cluster self-healing)
+//	GET    /antientropy/partition                     raw partition transfer for anti-entropy pulls
+//	POST   /antientropy/nudge                         read-repair signal: queue a partition for targeted repair
 //
 // Usage:
 //
@@ -95,6 +98,10 @@ func main() {
 		hedgeOff     = flag.Bool("no-hedge", false, "disable hedged (duplicate) requests to replicas")
 		hedgeInitial = flag.Duration("hedge-initial", 50*time.Millisecond, "hedge delay before a peer has latency history")
 		breakerOpen  = flag.Duration("breaker-open", 2*time.Second, "how long an open per-peer circuit breaker rejects before probing")
+
+		repairEvery = flag.Duration("repair-interval", 30*time.Second, "anti-entropy sweep period; 0 disables self-healing repair (cluster mode)")
+		hintsDir    = flag.String("hints-dir", "", "hinted-handoff journal directory (default <dir>/hints in -dir cluster mode; empty in -mem mode keeps hints in memory)")
+		noReadRep   = flag.Bool("no-read-repair", false, "disable targeted repair of partitions uncovered by degraded answers")
 	)
 	flag.Parse()
 
@@ -110,15 +117,17 @@ func main() {
 			list[i] = strings.TrimSpace(list[i])
 		}
 		cluster = &server.ClusterConfig{
-			Peers:         list,
-			ShardID:       *shardID,
-			Replication:   *replication,
-			WriteQuorum:   *writeQuorum,
-			VirtualNodes:  *vnodes,
-			HedgeDisabled: *hedgeOff,
-			HedgeInitial:  *hedgeInitial,
-			Breaker:       server.BreakerConfig{OpenFor: *breakerOpen},
-			Seed:          *seed,
+			Peers:              list,
+			ShardID:            *shardID,
+			Replication:        *replication,
+			WriteQuorum:        *writeQuorum,
+			VirtualNodes:       *vnodes,
+			HedgeDisabled:      *hedgeOff,
+			HedgeInitial:       *hedgeInitial,
+			Breaker:            server.BreakerConfig{OpenFor: *breakerOpen},
+			Seed:               *seed,
+			RepairInterval:     *repairEvery,
+			ReadRepairDisabled: *noReadRep,
 		}
 	}
 	if err := run(*addr, *dir, *mem, *seed, serverOpts{
@@ -139,6 +148,7 @@ func main() {
 		events:       *events,
 		wal:          *walOn,
 		walOpts:      wal.Options{Policy: walPolicy, Interval: *walInterval, SegmentBytes: *walSegment},
+		hintsDir:     *hintsDir,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "swd: %v\n", err)
 		os.Exit(1)
@@ -155,6 +165,7 @@ type serverOpts struct {
 	wal          bool
 	walOpts      wal.Options
 	cluster      *server.ClusterConfig
+	hintsDir     string
 }
 
 // logf writes one timestamped operational log line to stderr.
@@ -178,7 +189,9 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 	// or an ephemeral in-memory one.
 	var wh *warehouse.Warehouse[int64]
 	if mem {
-		st := storage.NewMemStore[int64]()
+		// The codec enables the raw-bytes interface anti-entropy hashes and
+		// transfers are built on, so -mem cluster nodes repair too.
+		st := storage.NewMemStore[int64]().WithCodec(storage.Int64Codec{})
 		st.Instrument(reg)
 		w, report, err := warehouse.Open[int64](st, seed)
 		if err != nil {
@@ -231,6 +244,34 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 		}()
 	}
 
+	// Hinted-handoff journal (cluster mode with repair enabled): a dedicated
+	// WAL whose entries are undelivered replica writes, so hints survive the
+	// coordinator crashing too. -mem nodes without -hints-dir keep hints in
+	// memory only (the anti-entropy sweep is the backstop).
+	var hintsLog *wal.Log[int64]
+	var hintsRecovered []wal.RecoveredEntry[int64]
+	if opts.cluster != nil && opts.cluster.RepairInterval > 0 {
+		hdir := opts.hintsDir
+		if hdir == "" && !mem {
+			hdir = filepath.Join(dir, "hints")
+		}
+		if hdir != "" {
+			hOpts := opts.walOpts
+			hOpts.Registry = reg
+			lg, rec, err := wal.Open[int64](hdir, storage.Int64Codec{}, hOpts)
+			if err != nil {
+				return fmt.Errorf("open hints journal: %w", err)
+			}
+			hintsLog, hintsRecovered = lg, rec
+			defer func() {
+				if err := hintsLog.Close(); err != nil {
+					logf("hints journal close: %v", err)
+				}
+			}()
+			opts.cluster.Hints = hintsLog
+		}
+	}
+
 	opts.cfg.Registry = reg
 	opts.cfg.Journal = journal
 	srv := server.New(wh, opts.cfg)
@@ -238,8 +279,16 @@ func run(addr, dir string, mem bool, seed uint64, opts serverOpts) error {
 		if err := srv.EnableCluster(*opts.cluster); err != nil {
 			return fmt.Errorf("cluster: %w", err)
 		}
-		logf("cluster mode: shard %d of %d, replication %d",
-			opts.cluster.ShardID, len(opts.cluster.Peers), opts.cluster.Replication)
+		// Stop the repair goroutines before the deferred journal closes
+		// (defers run LIFO, so this fires first on the way out).
+		defer srv.StopRepair()
+		if len(hintsRecovered) > 0 {
+			srv.SeedHints(hintsRecovered)
+			logf("hints journal: %d undelivered hints recovered", len(hintsRecovered))
+		}
+		logf("cluster mode: shard %d of %d, replication %d, repair interval %s",
+			opts.cluster.ShardID, len(opts.cluster.Peers), opts.cluster.Replication,
+			opts.cluster.RepairInterval)
 	}
 	srv.SetReady(false)
 

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"time"
+
+	"samplewh/internal/obs"
+	"samplewh/internal/server"
+	"samplewh/internal/storage"
+	"samplewh/internal/warehouse"
+)
+
+// RepairConfig parameterizes the self-healing replication drill.
+type RepairConfig struct {
+	Shards int // cluster size (default 3)
+	Parts  int // partitions per ingest wave (default 8)
+	Per    int // values per partition (default 2048)
+}
+
+func (c RepairConfig) normalized() RepairConfig {
+	if c.Shards < 2 {
+		c.Shards = 3
+	}
+	if c.Parts <= 0 {
+		c.Parts = 8
+	}
+	if c.Per <= 0 {
+		c.Per = 2048
+	}
+	return c
+}
+
+// repairShard is one restartable shard of the drill cluster: the store
+// survives kill/restart (it plays the role of the shard's disk) and the
+// warehouse reopens from its persisted manifest.
+type repairShard struct {
+	store  *storage.MemStore[int64]
+	ln     net.Listener
+	srv    *server.Server
+	hs     *http.Server
+	reg    *obs.Registry
+	client *server.Client
+	seed   uint64
+	down   bool
+}
+
+// repairCluster is an in-process cluster with anti-entropy repair enabled.
+type repairClusterBench struct {
+	shards []*repairShard
+	addrs  []string
+	repl   int
+}
+
+func (rc *repairClusterBench) close() {
+	for _, sh := range rc.shards {
+		if !sh.down {
+			sh.hs.Close()
+			sh.srv.StopRepair()
+		}
+	}
+}
+
+func (rc *repairClusterBench) counter(name string) int64 {
+	var total int64
+	for _, sh := range rc.shards {
+		if sh.down {
+			continue
+		}
+		total += sh.reg.Snapshot().Counters[name]
+	}
+	return total
+}
+
+// start (re)opens shard i's warehouse over its surviving store and serves it
+// on the shard's listener.
+func (rc *repairClusterBench) start(i int, repair bool) error {
+	sh := rc.shards[i]
+	wh, _, err := warehouse.Open[int64](sh.store, sh.seed)
+	if err != nil {
+		return fmt.Errorf("repair: open shard %d: %w", i, err)
+	}
+	reg := obs.NewRegistry()
+	srv := server.New(wh, server.Config{DefaultTimeout: 5 * time.Second, Registry: reg})
+	ccfg := server.ClusterConfig{
+		Peers:         rc.addrs,
+		ShardID:       i,
+		Replication:   rc.repl,
+		WriteQuorum:   1,
+		Breaker:       server.BreakerConfig{Window: 4, MinSamples: 2, OpenFor: 100 * time.Millisecond},
+		HedgeDisabled: true,
+	}
+	if repair {
+		ccfg.RepairInterval = 150 * time.Millisecond
+		ccfg.HintReplayInterval = 50 * time.Millisecond
+	}
+	if err := srv.EnableCluster(ccfg); err != nil {
+		return fmt.Errorf("repair: enable shard %d: %w", i, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(sh.ln) }()
+	sh.srv, sh.hs, sh.reg, sh.down = srv, hs, reg, false
+	return nil
+}
+
+func (rc *repairClusterBench) kill(i int) {
+	sh := rc.shards[i]
+	sh.down = true
+	sh.hs.Close()
+	sh.srv.StopRepair()
+}
+
+func (rc *repairClusterBench) restart(i int) error {
+	sh := rc.shards[i]
+	hostport := strings.TrimPrefix(rc.addrs[i], "http://")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", hostport)
+		if err == nil {
+			sh.ln = ln
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repair: rebind shard %d: %w", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return rc.start(i, true)
+}
+
+func newRepairClusterBench(n int, seed uint64, repair bool) (*repairClusterBench, error) {
+	rc := &repairClusterBench{repl: 2}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rc.close()
+			return nil, fmt.Errorf("repair: listen: %w", err)
+		}
+		rc.shards = append(rc.shards, &repairShard{
+			store: storage.NewMemStore[int64]().WithCodec(storage.Int64Codec{}),
+			ln:    ln,
+			seed:  seed + uint64(i),
+		})
+		rc.addrs = append(rc.addrs, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		if err := rc.start(i, repair); err != nil {
+			rc.close()
+			return nil, err
+		}
+		rc.shards[i].client = server.NewClient(rc.addrs[i], nil).SetRetryPolicy(server.NoRetry())
+	}
+	return rc, nil
+}
+
+// converged reports whether the drill cluster has healed: every partition is
+// listed by exactly `repl` shards, every holder agrees on its content hash,
+// and no shard has hints pending.
+func (rc *repairClusterBench) converged(ctx context.Context, ds string, parts int) (bool, error) {
+	holders := make(map[string]int)
+	hashes := make(map[string]string)
+	for _, sh := range rc.shards {
+		dig, err := sh.client.Digest(ctx, ds)
+		if err != nil {
+			return false, nil // shard not answering yet
+		}
+		for p, h := range dig.Datasets[ds] {
+			holders[p]++
+			if prev, ok := hashes[p]; ok && prev != h {
+				return false, nil
+			}
+			hashes[p] = h
+		}
+	}
+	if len(holders) != parts {
+		return false, nil
+	}
+	for _, n := range holders {
+		if n != rc.repl {
+			return false, nil
+		}
+	}
+	for _, sh := range rc.shards {
+		st, err := sh.client.ClusterStatus(ctx)
+		if err != nil {
+			return false, nil
+		}
+		if st.Repair == nil || st.Repair.HintsPending != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Repair benchmarks the self-healing replication path (DESIGN.md §16): it
+// stands up a drill cluster with anti-entropy repair enabled and a control
+// twin that never fails, ingests one wave healthy, kills a replica, ingests a
+// second wave through the survivors (queueing hints), restarts the shard, and
+// measures the time until inventories converge. It then verifies the repaired
+// cluster answers a strict full-coverage query and that every partition's
+// merged sample is identical to the control's — repair moves stored bytes,
+// so a healed replica must be indistinguishable from one that never failed.
+func Repair(cfg RepairConfig, opt Options) (*Report, error) {
+	cfg = cfg.normalized()
+	opt = opt.normalized()
+	ctx := context.Background()
+
+	r := &Report{
+		Title: "Repair: rejoin convergence after replica failure",
+		Header: []string{"shards", "parts", "per", "hinted", "replayed", "pulls",
+			"converge_ms", "strict_ok", "identical"},
+	}
+	r.Note("drill: wave 1 healthy, kill one replica, wave 2 through survivors, restart, converge")
+	r.Note("control: identical ingest on a cluster that never failed; samples must match exactly")
+
+	drill, err := newRepairClusterBench(cfg.Shards, opt.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	defer drill.close()
+	control, err := newRepairClusterBench(cfg.Shards, opt.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	defer control.close()
+
+	const ds = "repair"
+	for _, rc := range []*repairClusterBench{drill, control} {
+		if _, err := rc.shards[0].client.CreateDataset(ctx, server.CreateDatasetRequest{
+			Name: ds, Algorithm: "HR", NF: opt.NF, P: opt.P,
+		}); err != nil {
+			return nil, fmt.Errorf("repair: create dataset: %w", err)
+		}
+	}
+
+	ingest := func(rc *repairClusterBench, wave, coordMod int) error {
+		for i := 0; i < cfg.Parts; i++ {
+			vals := make([]int64, cfg.Per)
+			for j := range vals {
+				vals[j] = int64(wave*1_000_000 + i*cfg.Per + j)
+			}
+			part := fmt.Sprintf("w%dp%03d", wave, i)
+			coord := rc.shards[i%coordMod]
+			if _, err := coord.client.IngestValues(ctx, ds, part, 0, vals); err != nil {
+				return fmt.Errorf("repair: ingest %s: %w", part, err)
+			}
+		}
+		return nil
+	}
+
+	// Wave 1: everything healthy on both clusters.
+	if err := ingest(drill, 1, cfg.Shards); err != nil {
+		return nil, err
+	}
+	if err := ingest(control, 1, cfg.Shards); err != nil {
+		return nil, err
+	}
+
+	// Kill the last shard of the drill cluster; wave 2 goes through the
+	// survivors (hints queue for chains that include the dead shard). The
+	// control ingests the same wave with all shards up — sampler seeding is
+	// per (dataset, partition), so the coordinator choice cannot change the
+	// resulting samples.
+	down := cfg.Shards - 1
+	drill.kill(down)
+	if err := ingest(drill, 2, cfg.Shards-1); err != nil {
+		return nil, err
+	}
+	if err := ingest(control, 2, cfg.Shards); err != nil {
+		return nil, err
+	}
+	var hinted int64
+	for _, sh := range drill.shards {
+		if sh.down {
+			continue
+		}
+		if st, err := sh.client.ClusterStatus(ctx); err == nil && st.Repair != nil {
+			hinted += int64(st.Repair.HintsPending)
+		}
+	}
+
+	// Restart and time convergence.
+	restartAt := time.Now()
+	if err := drill.restart(down); err != nil {
+		return nil, err
+	}
+	totalParts := 2 * cfg.Parts
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ok, err := drill.converged(ctx, ds, totalParts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("repair: cluster did not converge within 60s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	convergeMS := time.Since(restartAt).Milliseconds()
+
+	// Strict full-coverage query through the rejoined shard.
+	strictOK := true
+	est, err := drill.shards[down].client.Estimate(ctx, ds, "sum", server.QueryOpts{Strict: true})
+	if err != nil || est.Degraded || est.Coverage.Partial {
+		strictOK = false
+	}
+
+	// Per-partition byte-identity against the control: the merged sample of
+	// every partition must match exactly (same values, same counts).
+	identical := true
+	for wave := 1; wave <= 2; wave++ {
+		for i := 0; i < cfg.Parts && identical; i++ {
+			part := fmt.Sprintf("w%dp%03d", wave, i)
+			opts := server.QueryOpts{Parts: []string{part}}
+			ds1, err1 := drill.shards[0].client.Sample(ctx, ds, opts)
+			ds2, err2 := control.shards[0].client.Sample(ctx, ds, opts)
+			if err1 != nil || err2 != nil || !reflect.DeepEqual(ds1.Values, ds2.Values) {
+				identical = false
+			}
+		}
+	}
+
+	r.Add(cfg.Shards, totalParts, cfg.Per, hinted,
+		drill.counter("repair.hints_replayed"), drill.counter("repair.pulls"),
+		convergeMS, strictOK, identical)
+	if !strictOK {
+		return nil, fmt.Errorf("repair: strict full-coverage query failed after convergence")
+	}
+	if !identical {
+		return nil, fmt.Errorf("repair: repaired samples diverge from the never-failed control")
+	}
+	return r, nil
+}

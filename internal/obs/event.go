@@ -63,6 +63,14 @@ const (
 	// its span tree was recorded in the slow-query log. Labels: "route",
 	// "trace_id". Values: "ns".
 	EvSlowQuery = "slow_query"
+	// EvRepairPull: anti-entropy pulled a missing or stale partition copy
+	// from a replica peer. Labels: "source" (shard id), "trigger" ("sweep"
+	// or "read_repair"). Values: "bytes".
+	EvRepairPull = "repair_pull"
+	// EvHintReplay: a hinted-handoff write was delivered to its recovered
+	// target replica. Labels: "target" (shard id), "kind" ("ingest" or
+	// "tombstone"). Values: "values".
+	EvHintReplay = "hint_replay"
 )
 
 // Event is one structured trace record. Component identifies the emitting

@@ -466,6 +466,39 @@ func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatusResponse, erro
 	return out, err
 }
 
+// Digest fetches GET /antientropy/digest: the shard's partition inventory
+// as dataset → partition → content hash. A non-empty ds scopes the answer
+// to one data set.
+func (c *Client) Digest(ctx context.Context, ds string) (DigestResponse, error) {
+	var out DigestResponse
+	var q url.Values
+	if ds != "" {
+		q = url.Values{"ds": {ds}}
+	}
+	err := c.get(ctx, "/antientropy/digest", q, &out)
+	return out, err
+}
+
+// PullPartition fetches one partition's raw stored bytes plus sketch
+// sidecar from GET /antientropy/partition — the transfer source of an
+// anti-entropy pull.
+func (c *Client) PullPartition(ctx context.Context, ds, part string) (PartitionTransferResponse, error) {
+	var out PartitionTransferResponse
+	err := c.get(ctx, "/antientropy/partition", url.Values{"ds": {ds}, "part": {part}}, &out)
+	return out, err
+}
+
+// NudgeRepair posts /antientropy/nudge: a read-repair signal telling the
+// target shard one of its partitions may be missing or stale.
+func (c *Client) NudgeRepair(ctx context.Context, ds, part string) error {
+	u := c.base + "/antientropy/nudge?" + url.Values{"ds": {ds}, "part": {part}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
 // ingestForward is the coordinator-to-replica ingest: the marker header
 // makes the receiving shard serve the write locally instead of coordinating
 // again. The bool reports an idempotent replay.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"samplewh/internal/obs"
+	"samplewh/internal/wal"
 )
 
 // ClusterConfig turns a Server into one shard of a static-membership
@@ -60,6 +61,28 @@ type ClusterConfig struct {
 	// the hook where tests plug fault-injecting transports
 	// (faults.NewTransport). Nil uses a shared default client.
 	HTTPClient func(shard int, addr string) *http.Client
+
+	// RepairInterval is the anti-entropy sweep period and the master switch
+	// for the self-healing subsystem (repair.go): 0 (the default) disables
+	// sweeps, hinted handoff and read repair entirely — no background
+	// goroutines start. cmd/swd defaults it to 30s.
+	RepairInterval time.Duration
+	// HintReplayInterval is how often pending hinted-handoff writes attempt
+	// delivery — much faster than the sweep so a recovered replica catches
+	// up as soon as its breaker half-opens. Default 1s.
+	HintReplayInterval time.Duration
+	// Hints, when non-nil, is the durable hinted-handoff journal (a
+	// dedicated WAL, separate from the ingest journal): hints survive a
+	// coordinator crash and are re-seeded via Server.SeedHints. Nil keeps
+	// hints in memory only — still replayed, lost on crash (the
+	// anti-entropy sweep is the backstop).
+	Hints *wal.Log[int64]
+	// MaxPendingHints bounds the hint queue; over it new hints are dropped
+	// and counted (repair.hints_dropped). Default 4096.
+	MaxPendingHints int
+	// ReadRepairDisabled turns off targeted repair of partitions named
+	// uncovered by degraded answers (it defaults on when repair is enabled).
+	ReadRepairDisabled bool
 }
 
 func (c ClusterConfig) normalized() (ClusterConfig, error) {
@@ -98,6 +121,12 @@ func (c ClusterConfig) normalized() (ClusterConfig, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x535744
+	}
+	if c.HintReplayInterval <= 0 {
+		c.HintReplayInterval = time.Second
+	}
+	if c.MaxPendingHints <= 0 {
+		c.MaxPendingHints = 4096
 	}
 	return c, nil
 }
@@ -149,6 +178,9 @@ type clusterState struct {
 	place *Placement
 	peers []*peer
 	o     clusterObs
+	// repair is non-nil when RepairInterval > 0: the self-healing subsystem
+	// (anti-entropy sweeps, hinted handoff, read repair).
+	repair *repairState
 }
 
 // EnableCluster switches the server into cluster mode. Call it after New and
@@ -178,6 +210,9 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 		place: place,
 		peers: peers,
 		o:     newClusterObs(s.o.reg),
+	}
+	if cfg.RepairInterval > 0 {
+		s.startRepair(cfg)
 	}
 	return nil
 }
@@ -231,6 +266,9 @@ type ClusterStatusResponse struct {
 	VirtualNodes int                `json:"virtual_nodes"`
 	Peers        []PeerStatus       `json:"peers"`
 	Placement    []DatasetPlacement `json:"placement,omitempty"`
+	// Repair is the self-healing subsystem's progress; absent when repair
+	// is disabled (RepairInterval 0).
+	Repair *RepairStatus `json:"repair,omitempty"`
 }
 
 // handleClusterz is GET /clusterz: per-peer readiness (live-probed), breaker
@@ -250,6 +288,7 @@ func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
 		WriteQuorum:  c.cfg.WriteQuorum,
 		VirtualNodes: c.place.VirtualNodes(),
 		Peers:        make([]PeerStatus, len(c.peers)),
+		Repair:       s.repairStatus(),
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), 500*time.Millisecond)
 	defer cancel()

@@ -676,9 +676,10 @@ func TestClusterQueryHealsMissedDatasetCreate(t *testing.T) {
 }
 
 // TestClusterRollOutReportsDegradedReplica: a roll-out that a dead replica
-// did not apply must say so — per-replica outcomes plus degraded, so the
-// caller knows the partition will resurrect when that replica recovers
-// (there is no anti-entropy) and retries the idempotent delete.
+// did not apply must say so — per-replica outcomes plus degraded. With
+// repair off (as here) the partition resurrects when that replica recovers
+// and the caller retries the idempotent delete; with repair on a tombstone
+// hint handles it (TestClusterRollOutTombstoneHint).
 func TestClusterRollOutReportsDegradedReplica(t *testing.T) {
 	ctx := context.Background()
 	tc := newTestCluster(t, 3, clusterOpts{replication: 2, writeQuorum: 1, hedgeOff: true})

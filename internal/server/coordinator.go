@@ -710,6 +710,10 @@ func (s *Server) scatterMerged(r *http.Request, ds string, ids []string, partial
 	degraded := cov.Partial() || blind
 	if degraded {
 		c.o.degraded.Inc()
+		// Read repair: the partitions this answer could not cover are
+		// exactly the ones some replica needs to heal — queue them for
+		// targeted repair ahead of the next full sweep.
+		s.noteDegradedCoverage(ds, cov.Skipped)
 	}
 	if !partial && degraded {
 		if len(cov.Skipped) > 0 {
@@ -919,6 +923,10 @@ func (s *Server) handleIngestCluster(w http.ResponseWriter, r *http.Request) err
 			msg: fmt.Sprintf("ingest %s/%s: %d/%d replicas acknowledged (quorum %d): %s",
 				ds, part, acks, len(chain), c.cfg.WriteQuorum, strings.Join(detail, "; "))}
 	}
+	// Hinted handoff: the write is quorum-acknowledged but some replica
+	// missed it — journal a hint per absentee so the batch is delivered
+	// (exactly-once, via the same idempotency key) when it recovers.
+	s.hintCapture(chain, statuses, ds, part, key, expected, vals, false)
 	resp := *template
 	resp.Replicas = statuses
 	resp.Degraded = acks < len(chain)
@@ -965,7 +973,10 @@ func (s *Server) ingestLocalValues(ctx context.Context, ds, part string, expecte
 			return resp, true, nil
 		}
 	}
-	smp, err := s.wh.NewSampler(ds, expected)
+	// Partition-seeded: every replica of (ds, part) sampling the same batch
+	// draws the same randomness, so replicated copies are byte-identical
+	// and anti-entropy digests agree without a repair pull.
+	smp, err := s.wh.NewPartitionSampler(ds, part, expected)
 	if err != nil {
 		return IngestResponse{}, false, err
 	}
@@ -1067,10 +1078,12 @@ func notFoundErr(err error) bool {
 // Roll-out is idempotent, so per-replica 404s are tolerated; the request
 // succeeds when at least one replica actually held (and dropped) the
 // partition. A replica that was skipped (breaker open) or errored still
-// holds its copy — with no anti-entropy the partition resurrects in
-// discovery once that replica recovers — so the response carries the
-// per-replica outcomes and a degraded flag telling the caller to retry the
-// roll-out until every replica reports ok or not_found.
+// holds its copy; when repair is enabled the coordinator journals a
+// tombstone hint that deletes it once the replica recovers (and the sweep
+// skips pulling it back while the tombstone is pending). The response still
+// carries the per-replica outcomes and a degraded flag — without repair, or
+// if the tombstone is lost, callers should retry the roll-out until every
+// replica reports ok or not_found.
 func (s *Server) handleRollOutCluster(w http.ResponseWriter, r *http.Request) error {
 	c := s.cluster
 	ds, part := r.PathValue("ds"), r.PathValue("part")
@@ -1122,6 +1135,11 @@ func (s *Server) handleRollOutCluster(w http.ResponseWriter, r *http.Request) er
 				firstErr = fmt.Sprintf("shard %d: %s", st.Shard, st.Error)
 			}
 		}
+	}
+	if dropped > 0 && degraded {
+		// Tombstone handoff: some replica still holds its copy; hint its
+		// deletion so the partition does not resurrect when it rejoins.
+		s.hintCapture(chain, statuses, ds, part, "", 0, nil, true)
 	}
 	if dropped == 0 {
 		if firstErr != "" {

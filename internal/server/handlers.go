@@ -86,9 +86,9 @@ type IngestResponse struct {
 // RollOutResponse is the DELETE partition body. In cluster mode the
 // coordinator adds the per-replica outcomes; Degraded marks a roll-out some
 // replica did not apply (breaker-open or errored) — that replica still holds
-// its copy, and with no anti-entropy the partition resurrects in discovery
-// once it recovers, so callers should retry until every replica reports ok
-// or not_found.
+// its copy. With repair enabled the coordinator journals a tombstone hint
+// that deletes it once the replica recovers; without repair callers should
+// retry until every replica reports ok or not_found.
 type RollOutResponse struct {
 	Dataset   string          `json:"dataset"`
 	Partition string          `json:"partition"`
@@ -541,7 +541,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 			return nil
 		}
 	}
-	smp, err := s.wh.NewSampler(ds, expected)
+	// Partition-seeded (not the warehouse's shared RNG stream): replicas of
+	// the same partition sampling the same batch produce byte-identical
+	// stored samples, which is what lets anti-entropy compare content
+	// hashes instead of re-transferring everything.
+	smp, err := s.wh.NewPartitionSampler(ds, part, expected)
 	if err != nil {
 		if strings.Contains(err.Error(), "unknown data set") {
 			return notFound("%v", err)

@@ -85,8 +85,12 @@ type Config struct {
 	// RollIn lands. Nil serves without crash durability (in-memory mode).
 	Journal *wal.Log[int64]
 	// IdempotencyCapacity bounds the remembered Idempotency-Key responses
-	// (FIFO eviction). Default 4096.
+	// (least-recently-used eviction). Default 4096.
 	IdempotencyCapacity int
+	// IdempotencyTTL bounds how long a remembered Idempotency-Key response
+	// stays answerable; older entries read as absent and are reaped lazily.
+	// Default 1h; negative disables age-based expiry.
+	IdempotencyTTL time.Duration
 
 	// Registry routes server metrics and events; nil leaves the server
 	// uninstrumented (all obs calls are nil-safe no-ops).
@@ -121,6 +125,9 @@ func (c Config) normalized() Config {
 	}
 	if c.IdempotencyCapacity <= 0 {
 		c.IdempotencyCapacity = 4096
+	}
+	if c.IdempotencyTTL == 0 {
+		c.IdempotencyTTL = time.Hour
 	}
 	if c.SlowLogThreshold == 0 {
 		c.SlowLogThreshold = 500 * time.Millisecond
@@ -215,7 +222,7 @@ func New(wh *warehouse.Warehouse[int64], cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		o:       newServerObs(cfg.Registry),
 		journal: cfg.Journal,
-		idem:    newIdemRegistry(cfg.IdempotencyCapacity),
+		idem:    newIdemRegistry(cfg.IdempotencyCapacity, cfg.IdempotencyTTL, cfg.Registry.Counter("server.idem_evictions")),
 		slow:    newSlowLog(cfg.SlowLogThreshold, cfg.SlowLogSize, cfg.Registry),
 		read:    newLimiter(cfg.ReadLimit, cfg.queueDepth(cfg.ReadLimit), cfg.QueueWait),
 		ingest:  newLimiter(cfg.IngestLimit, cfg.queueDepth(cfg.IngestLimit), cfg.QueueWait),
@@ -260,6 +267,9 @@ func (s *Server) routes() {
 	s.mux.Handle("DELETE /v1/datasets/{ds}/partitions/{part}", s.wrap(s.ingest, "partition.rollout", s.handleRollOut))
 	s.mux.Handle("GET /v1/datasets/{ds}/sample", s.wrap(s.query, "sample", s.handleSample))
 	s.mux.Handle("GET /v1/datasets/{ds}/estimate", s.wrap(s.query, "estimate", s.handleEstimate))
+	s.mux.Handle("GET /antientropy/digest", s.wrap(s.read, "antientropy.digest", s.handleAntiEntropyDigest))
+	s.mux.Handle("GET /antientropy/partition", s.wrap(s.read, "antientropy.partition", s.handleAntiEntropyPartition))
+	s.mux.Handle("POST /antientropy/nudge", s.wrap(s.read, "antientropy.nudge", s.handleAntiEntropyNudge))
 }
 
 // Handler returns the root handler for an http.Server.

@@ -35,6 +35,7 @@ type MemStore[V comparable] struct {
 	mu    sync.RWMutex
 	m     map[string]*core.Sample[V]
 	blobs map[string][]byte
+	codec ValueCodec[V] // optional; enables the RawStore methods (WithCodec)
 	o     storeObs
 }
 

@@ -1,0 +1,129 @@
+package warehouse
+
+import (
+	"testing"
+
+	"samplewh/internal/core"
+	"samplewh/internal/storage"
+)
+
+// TestAttachPreservesRecordedHash pins the property fsck pass 6 depends on: a
+// catalog rebuild over a persistent store (New + CreateDataset + Attach +
+// PersistCatalog — what swcli does on every invocation) must carry the
+// durable manifest's content hashes forward, not re-seal whatever bytes the
+// store holds now. Re-sealing would overwrite the only evidence that a stored
+// sample diverged from its roll-in seal before the audit could witness it.
+func TestAttachPreservesRecordedHash(t *testing.T) {
+	st := storage.NewMemStore[int64]().WithCodec(storage.Int64Codec{})
+	w, _, err := Open[int64](st, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DatasetConfig{Algorithm: AlgHR, Core: core.ConfigForNF(64)}
+	if err := w.CreateDataset("ds", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RollIn("ds", "p1", externalSample(t, 64, 3, 0, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RollIn("ds", "p2", externalSample(t, 64, 4, 5000, 9000)); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := w.PartitionHashes("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper behind the warehouse's back: overwrite p1's stored sample with
+	// p2's. The bytes still decode and pass codec CRC — only the recorded
+	// content hash can tell the difference.
+	s2, err := st.Get("ds/p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("ds/p1", s2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the catalog the way swcli's open() does.
+	w2 := New[int64](st, 5)
+	if err := w2.CreateDataset("ds", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"p1", "p2"} {
+		if err := w2.Attach("ds", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.PersistCatalog(); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := w2.PartitionHashes("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after["p1"] != sealed["p1"] || after["p2"] != sealed["p2"] {
+		t.Fatalf("attach re-sealed hashes: before=%v after=%v", sealed, after)
+	}
+
+	rep, err := FsckHashes(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != 2 || len(rep.Mismatched) != 1 || rep.Mismatched[0] != "ds/p1" {
+		t.Fatalf("tamper not detected after catalog rebuild: %+v", rep)
+	}
+
+	// -fix re-seals from the stored bytes; the audit then comes back clean.
+	if rep, err = FsckHashes(st, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Fixed) != 1 || rep.Fixed[0] != "ds/p1" {
+		t.Fatalf("fix did not re-seal ds/p1: %+v", rep)
+	}
+	if rep, err = FsckHashes(st, false); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Problems() != 0 {
+		t.Fatalf("defects survived -fix: %+v", rep)
+	}
+}
+
+// TestAttachSealsFreshPartition: a partition absent from the durable manifest
+// (first attach ever) still gets sealed from its stored bytes.
+func TestAttachSealsFreshPartition(t *testing.T) {
+	st := storage.NewMemStore[int64]().WithCodec(storage.Int64Codec{})
+	cfg := DatasetConfig{Algorithm: AlgHR, Core: core.ConfigForNF(64)}
+
+	// Seed the store outside any manifest: put a sample, then build a fresh
+	// catalog over it.
+	seedWH := New[int64](st, 7)
+	if err := seedWH.CreateDataset("ds", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := seedWH.RollIn("ds", "p1", externalSample(t, 64, 3, 0, 2000)); err != nil {
+		t.Fatal(err)
+	}
+
+	w := New[int64](st, 7)
+	if err := w.CreateDataset("ds", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attach("ds", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PersistCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := w.PartitionHashes("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashes["p1"] == "" {
+		t.Fatal("fresh attach did not seal the partition from its stored bytes")
+	}
+	if rep, err := FsckHashes(st, false); err != nil || rep.Problems() != 0 {
+		t.Fatalf("fresh attach seal does not verify: rep=%+v err=%v", rep, err)
+	}
+}

@@ -48,6 +48,11 @@ type manifestDataset struct {
 	// backfilled from their stored samples the first time a sketch-assisted
 	// query loads them, or by swcli fsck -fix.
 	Sketches map[string]*sketch.Summary `json:"partition_sketches,omitempty"`
+	// Hashes is the per-partition content-hash registry for anti-entropy
+	// digests (see antientropy.go). Optional under the same version:
+	// partitions without hashes compare by presence only until the next
+	// roll-in or swcli fsck -fix recomputes them.
+	Hashes map[string]string `json:"partition_hashes,omitempty"`
 }
 
 // manifestPartitionStats is one registry entry as persisted: the roll-in
@@ -101,6 +106,12 @@ func (w *Warehouse[V]) buildManifest() manifest {
 			md.Sketches = make(map[string]*sketch.Summary, len(ds.sketches))
 			for id, sk := range ds.sketches {
 				md.Sketches[id] = sk
+			}
+		}
+		if len(ds.hashes) > 0 {
+			md.Hashes = make(map[string]string, len(ds.hashes))
+			for id, h := range ds.hashes {
+				md.Hashes[id] = h
 			}
 		}
 		m.Datasets[name] = md
@@ -254,6 +265,12 @@ func Open[V comparable](store storage.Store[V], seed uint64) (*Warehouse[V], *Re
 				}
 			}
 		}
+		if len(md.Hashes) > 0 {
+			ds.hashes = make(map[string]string, len(md.Hashes))
+			for id, h := range md.Hashes {
+				ds.hashes[id] = h
+			}
+		}
 		if len(md.Stats) > 0 {
 			ds.stats = make(map[string]PartitionStats, len(md.Stats))
 			for id, st := range md.Stats {
@@ -309,6 +326,7 @@ func (w *Warehouse[V]) Recover() (*RecoveryReport, error) {
 				rep.Dangling = append(rep.Dangling, k)
 				delete(ds.stats, p)
 				delete(ds.sketches, p)
+				delete(ds.hashes, p)
 				w.ld.dropEWMA(k)
 				changed = true
 			}

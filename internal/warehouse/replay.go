@@ -46,7 +46,10 @@ type ReplayReport[V comparable] struct {
 func (w *Warehouse[V]) ReplayJournal(lg *wal.Log[V], entries []wal.RecoveredEntry[V]) (*ReplayReport[V], error) {
 	rep := &ReplayReport[V]{}
 	for _, re := range entries {
-		smp, err := w.NewSampler(re.Dataset, re.Expected)
+		// Partition-seeded, like the live ingest path: a replayed batch must
+		// reproduce the exact bytes the original roll-in produced (or its
+		// replicas produced), so anti-entropy digests agree after recovery.
+		smp, err := w.NewPartitionSampler(re.Dataset, re.Partition, re.Expected)
 		if err != nil {
 			rep.Orphaned++
 			if cerr := lg.CommitRecovered(re.ID); cerr != nil {

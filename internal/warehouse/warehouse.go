@@ -107,6 +107,13 @@ type Warehouse[V comparable] struct {
 	// ld is the read-path fetch layer: bounded-concurrency store loads with
 	// singleflight dedup and the optional read-through sample cache.
 	ld *loader[V]
+	// prior lazily caches the durable manifest's content hashes (keyed
+	// dataset/partition) for Attach: re-attaching a partition the manifest
+	// already seals must keep the recorded hash rather than re-seal the
+	// current bytes, or fsck could never witness divergence. Fresh seals
+	// (roll-in, adopt, roll-out) evict their entry. See priorHash.
+	prior       map[string]string
+	priorLoaded bool
 	// mergeWorkers is the resolved QueryConfig.MergeWorkers (0 = GOMAXPROCS,
 	// applied at merge time).
 	mergeWorkers int
@@ -123,6 +130,11 @@ type dataset struct {
 	// sketches.go), maintained on the same lifecycle as stats and persisted
 	// in the manifest.
 	sketches map[string]*sketch.Summary
+	// hashes is the per-partition content-hash registry for anti-entropy
+	// digests (see antientropy.go), maintained on the same lifecycle and
+	// persisted in the manifest. Entries are absent when the store has no
+	// raw-bytes access.
+	hashes map[string]string
 }
 
 // New creates a warehouse over the given store, seeding all merge
@@ -227,7 +239,13 @@ func (w *Warehouse[V]) NewSampler(dataset string, expectedN int64) (core.Sampler
 	if !ok {
 		return nil, fmt.Errorf("warehouse: unknown data set %q", dataset)
 	}
-	src := w.rng.Split()
+	return w.newSamplerLocked(ds, expectedN, w.rng.Split())
+}
+
+// newSamplerLocked builds a sampler for ds drawing randomness from src — the
+// shared tail of NewSampler (warehouse-seeded) and NewPartitionSampler
+// (deterministically partition-seeded; see antientropy.go). Caller holds w.mu.
+func (w *Warehouse[V]) newSamplerLocked(ds *dataset, expectedN int64, src *randx.RNG) (core.Sampler[V], error) {
 	var smp core.Sampler[V]
 	switch ds.cfg.Algorithm {
 	case AlgHB:
@@ -329,6 +347,8 @@ func (w *Warehouse[V]) rollIn(dataset, partitionID string, s *core.Sample[V], sk
 		sk = w.autoSketch(s)
 	}
 	w.setSketch(ds, partitionID, sk)
+	w.setHash(ds, partitionID, w.storedHash(dataset, partitionID, sk))
+	w.dropPrior(dataset, partitionID)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}
@@ -377,11 +397,21 @@ func (w *Warehouse[V]) Attach(dataset, partitionID string) error {
 	}
 	ds.partitions = append(ds.partitions, partitionID)
 	w.setStat(ds, partitionID, s)
-	w.setSketch(ds, partitionID, w.autoSketch(s))
+	sk := w.autoSketch(s)
+	w.setSketch(ds, partitionID, sk)
+	h := w.storedHash(dataset, partitionID, sk)
+	if ph, ok := w.priorHash(dataset, partitionID); ok {
+		// The durable manifest already seals this partition: keep the recorded
+		// hash rather than re-sealing the current bytes, so divergence between
+		// seal and store stays visible to fsck and anti-entropy.
+		h = ph
+	}
+	w.setHash(ds, partitionID, h)
 	if err := w.saveManifest(); err != nil {
 		ds.partitions = ds.partitions[:len(ds.partitions)-1]
 		w.dropStat(ds, partitionID)
 		w.dropSketch(ds, partitionID)
+		w.dropHash(ds, partitionID)
 		return err
 	}
 	w.ld.invalidate(w.key(dataset, partitionID))
@@ -427,6 +457,8 @@ func (w *Warehouse[V]) RollOut(dataset, partitionID string) error {
 	ds.partitions = append(ds.partitions[:idx], ds.partitions[idx+1:]...)
 	w.dropStat(ds, partitionID)
 	w.dropSketch(ds, partitionID)
+	w.dropHash(ds, partitionID)
+	w.dropPrior(dataset, partitionID)
 	if err := w.saveManifest(); err != nil {
 		return err
 	}

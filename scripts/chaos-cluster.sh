@@ -5,7 +5,11 @@
 #   - every acknowledged batch survives exactly once (parent sizes are exact),
 #   - queries stay error-free through the outage (degraded allowed, 5xx not),
 #   - with two shards down, answers are flagged "degraded" instead of failing,
-#   - the killed shard rejoins after restart and the cluster reports it ready.
+#   - the killed shard rejoins after restart and the cluster reports it ready,
+#   - (phase 4) writes accepted while a replica was down self-heal: after the
+#     shard rejoins, hinted handoff + anti-entropy converge every partition
+#     inventory (identical content hashes on every replica), hints drain to
+#     zero, and strict queries stay exactly-once — no batch lost or doubled.
 #
 # Usage: scripts/chaos-cluster.sh [batches]
 set -eu
@@ -36,6 +40,7 @@ start_shard() {
     "$DIR/swd" -dir "$DIR/shard$1" -addr "127.0.0.1:$2" \
         -peers "$PEERS" -shard-id "$1" -replication 2 -write-quorum 1 \
         -hedge-initial 25ms -breaker-open 500ms -timeout 5s \
+        -repair-interval 1s \
         >/dev/null 2>>"$DIR/shard$1.log" &
     echo $!
 }
@@ -160,4 +165,94 @@ case "$(cat "$DIR/verify.json")" in
 *) echo "final merged parent size != $total (lost or duplicated batch):" >&2; cat "$DIR/verify.json" >&2; exit 1 ;;
 esac
 
-echo "chaos-cluster: OK ($BATCHES batches, one mid-flight kill, one double outage, exactly-once verified)"
+echo "== phase 4: rejoin convergence — kill shard 2, ingest through survivors, restart, self-heal"
+REPAIR_BATCHES=6
+kill -9 "$PID3"; PID3=""
+n=1
+while [ "$n" -le "$REPAIR_BATCHES" ]; do
+    # Keyed ingest into fresh partitions while the replica is down: chains
+    # that include shard 2 succeed at quorum 1 and journal a hint.
+    coord="$BASE1"; [ $((n % 2)) = 0 ] && coord="$BASE2"
+    attempt=0
+    while :; do
+        attempt=$((attempt + 1))
+        [ "$attempt" -gt 100 ] && { echo "repair batch $n never acknowledged" >&2; exit 1; }
+        code="$(seq 1 $BATCH_SIZE | curl -s -o /dev/null -w '%{http_code}' \
+            -X PUT -H "Idempotency-Key: heal-$n" --data-binary @- \
+            "$coord/v1/datasets/drill/partitions/c$n" || echo 000)"
+        [ "$code" = "201" ] && break
+        sleep 0.1
+    done
+    n=$((n + 1))
+done
+
+PID3="$(start_shard 2 $PORT3)"
+wait_ready $PORT3
+
+# converged: every partition of "drill" is listed by exactly 2 shards with an
+# identical content hash, and no shard has hinted-handoff entries pending.
+converged() {
+    curl -sf "$BASE1/antientropy/digest?ds=drill" >"$DIR/d1.json" 2>/dev/null || return 1
+    curl -sf "$BASE2/antientropy/digest?ds=drill" >"$DIR/d2.json" 2>/dev/null || return 1
+    curl -sf "$BASE3/antientropy/digest?ds=drill" >"$DIR/d3.json" 2>/dev/null || return 1
+    python3 - "$DIR/d1.json" "$DIR/d2.json" "$DIR/d3.json" <<'PY' || return 1
+import json, sys
+maps = []
+for p in sys.argv[1:]:
+    with open(p) as f:
+        maps.append(json.load(f).get("datasets", {}).get("drill") or {})
+parts = set()
+for m in maps:
+    parts.update(m)
+if not parts:
+    sys.exit(1)
+for part in parts:
+    hashes = [m[part] for m in maps if part in m]
+    if len(hashes) != 2 or len(set(hashes)) != 1:
+        sys.exit(1)
+PY
+    for b in "$BASE1" "$BASE2" "$BASE3"; do
+        curl -sf "$b/clusterz" 2>/dev/null | grep -Eq '"hints_pending": *0' || return 1
+    done
+    return 0
+}
+
+# The repair interval is 1s; allow a generous multiple for slow CI machines.
+i=0
+until converged; do
+    i=$((i + 1))
+    if [ "$i" -ge 60 ]; then
+        echo "cluster did not converge after rejoin" >&2
+        echo "--- digests:" >&2; cat "$DIR/d1.json" "$DIR/d2.json" "$DIR/d3.json" >&2 || true
+        echo "--- clusterz:" >&2; curl -s "$BASE1/clusterz" >&2 || true
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "   inventories converged, hints drained"
+
+# Exactly-once after hint replay + repair pulls: every healed batch answers a
+# strict query with an exact parent size, through the rejoined shard itself.
+n=1
+while [ "$n" -le "$REPAIR_BATCHES" ]; do
+    code="$(curl -s -o "$DIR/verify.json" -w '%{http_code}' \
+        "$BASE3/v1/datasets/drill/estimate?q=sum&parts=c$n&strict=1")"
+    [ "$code" = "200" ] || { echo "strict query for c$n via rejoined shard -> $code" >&2; cat "$DIR/verify.json" >&2; exit 1; }
+    case "$(cat "$DIR/verify.json")" in
+    *'"parent_size": '$BATCH_SIZE*|*'"parent_size":'$BATCH_SIZE*) ;;
+    *) echo "healed batch c$n parent size wrong (lost or duplicated):" >&2; cat "$DIR/verify.json" >&2; exit 1 ;;
+    esac
+    n=$((n + 1))
+done
+
+# Full strict union: original batches plus healed batches, nothing doubled.
+total=$(((BATCHES + REPAIR_BATCHES) * BATCH_SIZE))
+code="$(curl -s -o "$DIR/verify.json" -w '%{http_code}' \
+    "$BASE3/v1/datasets/drill/estimate?q=avg&strict=1")"
+[ "$code" = "200" ] || { echo "post-heal strict estimate -> $code" >&2; exit 1; }
+case "$(cat "$DIR/verify.json")" in
+*'"parent_size": '$total*|*'"parent_size":'$total*) ;;
+*) echo "post-heal merged parent size != $total (lost or duplicated batch):" >&2; cat "$DIR/verify.json" >&2; exit 1 ;;
+esac
+
+echo "chaos-cluster: OK ($BATCHES batches, one mid-flight kill, one double outage, rejoin self-heal, exactly-once verified)"
